@@ -1,0 +1,122 @@
+//! "Spark MLlib / H2O-like" execution: identical algorithm programs,
+//! per-operation materialization.
+//!
+//! Spark materializes operations such as aggregation separately (paper
+//! §4.3); running our algorithms under [`ExecMode::Eager`] reproduces
+//! that execution model on identical kernels, isolating the fusion
+//! effect the paper measures in Figures 7 and 10.
+
+use flashr_core::fm::FM;
+use flashr_core::session::{ExecMode, FlashCtx};
+use flashr_linalg::Dense;
+use flashr_ml::{
+    correlation, gmm, kmeans, lda, logistic_regression, naive_bayes, pca, GmmModel, GmmOptions,
+    KmeansOptions, KmeansResult, LdaModel, LogRegModel, LogRegOptions, NaiveBayesModel, PcaResult,
+};
+
+/// The eager-engine context this baseline runs under.
+pub fn eager_ctx(ctx: &FlashCtx) -> FlashCtx {
+    ctx.with_mode(ExecMode::Eager)
+}
+
+/// Correlation with per-op materialization.
+pub fn correlation_eager(ctx: &FlashCtx, x: &FM) -> Dense {
+    correlation(&eager_ctx(ctx), x)
+}
+
+/// PCA with per-op materialization.
+pub fn pca_eager(ctx: &FlashCtx, x: &FM, ncomp: usize) -> PcaResult {
+    pca(&eager_ctx(ctx), x, ncomp)
+}
+
+/// Naive Bayes with per-op materialization.
+pub fn naive_bayes_eager(ctx: &FlashCtx, x: &FM, y: &FM, k: usize) -> NaiveBayesModel {
+    naive_bayes(&eager_ctx(ctx), x, y, k)
+}
+
+/// Logistic regression with per-op materialization.
+pub fn logistic_regression_eager(ctx: &FlashCtx, x: &FM, y: &FM, opts: &LogRegOptions) -> LogRegModel {
+    logistic_regression(&eager_ctx(ctx), x, y, opts)
+}
+
+/// k-means with per-op materialization.
+pub fn kmeans_eager(ctx: &FlashCtx, x: &FM, opts: &KmeansOptions) -> KmeansResult {
+    kmeans(&eager_ctx(ctx), x, opts)
+}
+
+/// GMM with per-op materialization.
+pub fn gmm_eager(ctx: &FlashCtx, x: &FM, opts: &GmmOptions) -> GmmModel {
+    gmm(&eager_ctx(ctx), x, opts)
+}
+
+/// LDA with per-op materialization.
+pub fn lda_eager(ctx: &FlashCtx, x: &FM, y: &FM, k: usize) -> LdaModel {
+    lda(&eager_ctx(ctx), x, y, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashr_core::session::CtxConfig;
+
+    fn ctx() -> FlashCtx {
+        FlashCtx::with_config(CtxConfig { rows_per_part: 256, ..Default::default() }, None)
+    }
+
+    #[test]
+    fn eager_correlation_matches_fused() {
+        let ctx = ctx();
+        let x = FM::rnorm(&ctx, 3000, 3, 0.0, 1.0, 5);
+        let fused = correlation(&ctx, &x);
+        let eager = correlation_eager(&ctx, &x);
+        assert!(fused.max_abs_diff(&eager) < 1e-9);
+    }
+
+    #[test]
+    fn eager_uses_more_passes() {
+        let ctx = ctx();
+        let x = FM::rnorm(&ctx, 2000, 3, 0.0, 1.0, 5).materialize(&ctx);
+        let before = ctx.stats().snapshot();
+        let _ = correlation(&ctx, &x);
+        let fused_passes = before.delta(&ctx.stats().snapshot()).passes;
+
+        let e = eager_ctx(&ctx);
+        let before = e.stats().snapshot();
+        let _ = correlation(&e, &x);
+        let eager_passes = before.delta(&e.stats().snapshot()).passes;
+        assert!(eager_passes > fused_passes, "eager {eager_passes} vs fused {fused_passes}");
+    }
+
+    #[test]
+    fn eager_kmeans_matches_fused_centers() {
+        let ctx = ctx();
+        let labels = FM::seq(2000, 0.0, 1.0)
+            .binary_scalar(flashr_core::ops::BinaryOp::Rem, 2.0, false)
+            .cast(flashr_core::DType::F64);
+        let x = FM::rnorm(&ctx, 2000, 2, 0.0, 0.3, 8)
+            .binary(flashr_core::ops::BinaryOp::Add, &(&labels * 10.0), false);
+        let opts = KmeansOptions { k: 2, max_iters: 20, seed: 1 };
+        let fused = kmeans(&ctx, &x, &opts);
+        let eager = kmeans_eager(&ctx, &x, &opts);
+        assert!(fused.centers.max_abs_diff(&eager.centers) < 1e-6);
+        assert_eq!(fused.iterations, eager.iterations);
+    }
+
+    #[test]
+    fn eager_logreg_matches_fused_weights() {
+        let ctx = ctx();
+        let x = FM::rnorm(&ctx, 3000, 3, 0.0, 1.0, 2);
+        let w = Dense::from_vec(3, 1, vec![1.0, -1.0, 0.5]);
+        let y = x
+            .matmul(&FM::from_dense(w))
+            .sigmoid()
+            .gt(&FM::runif(&ctx, 3000, 1, 0.0, 1.0, 77))
+            .cast(flashr_core::DType::F64);
+        let opts = LogRegOptions { max_iters: 15, ..Default::default() };
+        let a = logistic_regression(&ctx, &x, &y, &opts);
+        let b = logistic_regression_eager(&ctx, &x, &y, &opts);
+        for (wa, wb) in a.weights.iter().zip(&b.weights) {
+            assert!((wa - wb).abs() < 1e-6);
+        }
+    }
+}

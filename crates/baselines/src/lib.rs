@@ -1,0 +1,20 @@
+//! # flashr-baselines
+//!
+//! Comparator implementations for the FlashR evaluation (paper §4.3).
+//! The paper attributes FlashR's 3–20× wins over H2O / Spark MLlib to
+//! (a) whole-DAG operation fusion vs. per-operation materialization and
+//! (b) parallelizing *everything* rather than only BLAS calls. These
+//! baselines implement exactly those two nulls on identical kernels, so
+//! the speedup factor our benchmarks measure is the factor the paper
+//! explains:
+//!
+//! * [`eagerml`] — "Spark MLlib / H2O-like": the same algorithm programs,
+//!   executed with per-operation materialization (every matrix operation
+//!   is a separate parallel pass; on EM contexts intermediates spill to
+//!   the SSD array, like shuffle/cache traffic).
+//! * [`rro`] — "Revolution R Open-like": single-threaded element-wise and
+//!   aggregation code, with only the matrix multiplications parallelized
+//!   (Revolution R parallelizes BLAS through MKL and nothing else).
+
+pub mod eagerml;
+pub mod rro;

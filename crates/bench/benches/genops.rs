@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks for the GenOp engine: fusion benefit,
+//! engine-mode comparison, and sink aggregation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flashr::prelude::*;
+use std::time::Duration;
+
+fn bench_fusion(c: &mut Criterion) {
+    let mut g = c.benchmark_group("genops-fusion");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let n = 1_000_000u64;
+    for mode in [ExecMode::Eager, ExecMode::MemFuse, ExecMode::CacheFuse] {
+        let ctx = FlashCtx::in_memory().with_mode(mode);
+        let x = FM::rnorm(&ctx, n, 8, 0.0, 1.0, 1).materialize(&ctx);
+        g.bench_with_input(
+            BenchmarkId::new("elementwise-chain-sum", format!("{mode:?}")),
+            &mode,
+            |b, _| {
+                b.iter(|| ((&(&x + 1.0) * 2.0).abs().sqrt()).sum().value(&ctx));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_sinks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("genops-sinks");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    let ctx = FlashCtx::in_memory();
+    let n = 1_000_000u64;
+    let x = FM::rnorm(&ctx, n, 16, 0.0, 1.0, 2).materialize(&ctx);
+    let labels = FM::seq(n, 0.0, 1.0)
+        .binary_scalar(BinaryOp::Rem, 8.0, false)
+        .cast(DType::I64)
+        .materialize(&ctx);
+
+    g.bench_function("colSums", |b| b.iter(|| x.col_sums().to_vec(&ctx)));
+    g.bench_function("crossprod", |b| b.iter(|| x.crossprod().to_dense(&ctx)));
+    g.bench_function("groupby-8", |b| {
+        b.iter(|| x.groupby_row(&labels, AggOp::Sum, 8).to_dense(&ctx))
+    });
+    g.bench_function("three-sinks-one-pass", |b| {
+        b.iter(|| {
+            FM::materialize_multi(&ctx, &[&x.sum(), &x.col_sums(), &x.crossprod()]);
+        })
+    });
+    g.finish();
+}
+
+fn bench_cum(c: &mut Criterion) {
+    let mut g = c.benchmark_group("genops-cum");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let ctx = FlashCtx::in_memory();
+    let x = FM::rnorm(&ctx, 1_000_000, 4, 0.0, 1.0, 3).materialize(&ctx);
+    g.bench_function("cumsum-col", |b| b.iter(|| x.cumsum_col().materialize(&ctx)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_fusion, bench_sinks, bench_cum);
+criterion_main!(benches);

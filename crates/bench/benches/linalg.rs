@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks for the dense kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flashr::linalg::{cholesky, eigen_sym, matmul, syrk, Dense};
+use std::time::Duration;
+
+fn pseudo(r: usize, c: usize, seed: u64) -> Dense {
+    let mut s = seed;
+    Dense::from_fn(r, c, |_, _| {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    })
+}
+
+fn spd(n: usize, seed: u64) -> Dense {
+    let b = pseudo(n + 4, n, seed);
+    let mut g = syrk(&b);
+    for i in 0..n {
+        let v = g.at(i, i);
+        g.set(i, i, v + 1.0);
+    }
+    g
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linalg-gemm");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [64usize, 256] {
+        let a = pseudo(n, n, 1);
+        let b = pseudo(n, n, 2);
+        g.bench_with_input(BenchmarkId::new("square", n), &n, |bch, _| {
+            bch.iter(|| matmul(&a, &b));
+        });
+    }
+    // The engine's shape: tall × small.
+    let tall = pseudo(100_000, 32, 3);
+    let small = pseudo(32, 8, 4);
+    g.bench_function("tall-100kx32-by-32x8", |b| b.iter(|| matmul(&tall, &small)));
+    g.finish();
+}
+
+fn bench_syrk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linalg-syrk");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let tall = pseudo(100_000, 32, 5);
+    g.bench_function("crossprod-100kx32", |b| b.iter(|| syrk(&tall)));
+    g.finish();
+}
+
+fn bench_factorizations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linalg-factor");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [32usize, 128] {
+        let a = spd(n, n as u64);
+        g.bench_with_input(BenchmarkId::new("cholesky", n), &n, |bch, _| {
+            bch.iter(|| cholesky(&a).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("eigen-jacobi", n), &n, |bch, _| {
+            bch.iter(|| eigen_sym(&a));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_syrk, bench_factorizations);
+criterion_main!(benches);

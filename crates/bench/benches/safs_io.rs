@@ -1,0 +1,63 @@
+//! Criterion micro-benchmarks for the SAFS substrate: partition write and
+//! read throughput, synchronous vs. asynchronous batching.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use flashr::prelude::*;
+use flashr::safs::IoBuf;
+use std::time::Duration;
+
+fn safs(tag: &str) -> Safs {
+    let dir = std::env::temp_dir().join(format!("flashr-bench-safsio-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    Safs::open(SafsConfig::striped_under(dir, 4)).unwrap()
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let part_bytes = 1u64 << 20; // 1 MiB partitions
+    let nparts = 32u64;
+    let total = part_bytes * nparts;
+
+    let mut g = c.benchmark_group("safs-io");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    g.throughput(Throughput::Bytes(total));
+
+    let rt = safs("rw");
+    let file = rt.create("bench", part_bytes, nparts).unwrap();
+    let payload = vec![0xABu8; part_bytes as usize];
+    for p in 0..nparts {
+        file.write_part(p, &payload).unwrap();
+    }
+
+    g.bench_function("read-sync-sequential", |b| {
+        b.iter(|| {
+            for p in 0..nparts {
+                let buf = file.read_part(p).unwrap();
+                assert_eq!(buf.len(), part_bytes as usize);
+            }
+        })
+    });
+
+    g.bench_function("read-async-batched", |b| {
+        b.iter(|| {
+            let tickets: Vec<_> = (0..nparts).map(|p| file.read_part_async(p).unwrap()).collect();
+            for t in tickets {
+                t.wait().unwrap();
+            }
+        })
+    });
+
+    g.bench_function("write-async-batched", |b| {
+        b.iter(|| {
+            let tickets: Vec<_> = (0..nparts)
+                .map(|p| file.write_part_async(p, IoBuf::from_bytes(&payload)).unwrap())
+                .collect();
+            for t in tickets {
+                t.wait().unwrap();
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion micro-benchmarks for sparse × dense multiplication:
+//! in-memory vs. semi-external memory.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use flashr::prelude::*;
+use flashr::sparse::{spmm, CsrMatrix, SemCsr};
+use std::time::Duration;
+
+fn bench_spmm(c: &mut Criterion) {
+    let n = 50_000usize;
+    let deg = 16usize;
+    let k = 8usize;
+
+    let a = CsrMatrix::random(n, n, deg, 42);
+    let b = Dense::from_fn(n, k, |r, cc| ((r * 7 + cc) % 13) as f64 - 6.0);
+
+    let mut g = c.benchmark_group("spmm");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    g.throughput(Throughput::Elements(a.nnz() as u64 * k as u64));
+
+    g.bench_function("in-memory", |bch| bch.iter(|| spmm(&a, &b)));
+
+    let dir = std::env::temp_dir().join(format!("flashr-bench-spmm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let safs = Safs::open(SafsConfig::striped_under(dir, 4)).unwrap();
+    let sem = SemCsr::store(&safs, "bench", &a, 4096);
+
+    g.bench_function("semi-external", |bch| bch.iter(|| sem.spmm(&b)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_spmm);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Engine-parameter ablations beyond the paper's Figure 10: sensitivity
+//! of the cache-fuse engine to the Pcache budget, the I/O partition
+//! height, and the worker thread count. These are the design constants
+//! DESIGN.md fixes (256 KiB Pcache budget, 16384-row partitions); this
+//! harness regenerates the evidence for those choices.
+//!
+//! ```sh
+//! cargo run --release -p flashr-bench --bin ablate [-- --full]
+//! ```
+
+use flashr::prelude::*;
+use flashr_bench::*;
+
+/// A deep per-iteration DAG (elementwise chain + Gramian + two sinks),
+/// the workload class where cache residency matters.
+fn workload(ctx: &FlashCtx, x: &FM) -> f64 {
+    let y = &(&(x + 1.0) * 0.5).abs().sqrt() - 0.25;
+    let out = FM::materialize_multi(ctx, &[&y.crossprod(), &y.sum(), &y.square().col_sums()]);
+    out[1].value(ctx)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let n = scale.rows(1_000_000, 8_000_000);
+    let p = 16usize;
+    println!("Engine ablations (n = {n}, p = {p})\n");
+    let mut report = Report::new();
+
+    // ---------------------------------------------------- Pcache budget
+    println!("Pcache budget sweep (CacheFuse):");
+    println!("{:>12} {:>10}", "budget", "seconds");
+    for kib in [16usize, 64, 256, 1024, 4096, 16384] {
+        let ctx = FlashCtx::with_config(
+            CtxConfig { pcache_bytes: kib * 1024, ..Default::default() },
+            None,
+        );
+        let x = FM::rnorm(&ctx, n, p, 0.0, 1.0, 3).materialize(&ctx);
+        workload(&ctx, &x); // warm
+        let (_, t) = time(|| workload(&ctx, &x));
+        println!("{:>9}KiB {:>10.3}", kib, t.as_secs_f64());
+        report.push("ablate", "pcache-budget", &format!("{kib}KiB"), "", t.as_secs_f64());
+    }
+
+    // ------------------------------------------------- partition height
+    println!("\nI/O partition height sweep:");
+    println!("{:>12} {:>10}", "rows/part", "seconds");
+    for rows in [1024u64, 4096, 16384, 65536, 262144] {
+        let ctx = FlashCtx::with_config(CtxConfig { rows_per_part: rows, ..Default::default() }, None);
+        let x = FM::rnorm(&ctx, n, p, 0.0, 1.0, 3).materialize(&ctx);
+        workload(&ctx, &x);
+        let (_, t) = time(|| workload(&ctx, &x));
+        println!("{rows:>12} {:>10.3}", t.as_secs_f64());
+        report.push("ablate", "rows-per-part", &format!("{rows}"), "", t.as_secs_f64());
+    }
+
+    // ----------------------------------------------------- thread count
+    let max_threads = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    println!("\nworker thread sweep (host has {max_threads} CPUs):");
+    println!("{:>12} {:>10} {:>10}", "threads", "seconds", "speedup");
+    let mut base = None;
+    let mut t_count = 1usize;
+    while t_count <= max_threads * 2 {
+        let ctx = FlashCtx::with_config(CtxConfig { nthreads: t_count, ..Default::default() }, None);
+        let x = FM::rnorm(&ctx, n, p, 0.0, 1.0, 3).materialize(&ctx);
+        workload(&ctx, &x);
+        let (_, t) = time(|| workload(&ctx, &x));
+        let secs = t.as_secs_f64();
+        let b = *base.get_or_insert(secs);
+        println!("{t_count:>12} {secs:>10.3} {:>9.2}x", b / secs);
+        report.push("ablate", "threads", &format!("{t_count}"), "", secs);
+        t_count *= 2;
+    }
+
+    // --------------------------------------------- buffer-recycle check
+    // Same DAG evaluated twice: the second run reuses pooled buffers; the
+    // ratio is a proxy for allocator pressure the recycler removes.
+    println!("\nrepeated-run stability (buffer recycling):");
+    let ctx = FlashCtx::in_memory();
+    let x = FM::rnorm(&ctx, n, p, 0.0, 1.0, 3).materialize(&ctx);
+    let (_, cold) = time(|| workload(&ctx, &x));
+    let (_, warm) = time(|| workload(&ctx, &x));
+    println!("cold {:.3}s, warm {:.3}s", cold.as_secs_f64(), warm.as_secs_f64());
+    report.push("ablate", "repeat", "cold", "", cold.as_secs_f64());
+    report.push("ablate", "repeat", "warm", "", warm.as_secs_f64());
+
+    report.save_json("ablate");
+}

@@ -1,0 +1,45 @@
+//! Quick engine-throughput probe: per-stage timings for generation,
+//! reduction, Gramian and fused elementwise chains. Used to sanity-check
+//! that the engine saturates memory bandwidth before running the full
+//! figure harnesses.
+//!
+//! ```sh
+//! cargo run --release -p flashr-bench --bin perf_probe
+//! ```
+
+use flashr::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let ctx = FlashCtx::in_memory();
+    let n = 2_000_000u64;
+    let p = 16usize;
+    let bytes = (n * p as u64 * 8) as f64;
+    let gibps = |d: std::time::Duration| bytes / d.as_secs_f64() / (1u64 << 30) as f64;
+
+    let t = Instant::now();
+    let x = FM::rnorm(&ctx, n, p, 0.0, 1.0, 1).materialize(&ctx);
+    let d = t.elapsed();
+    println!("rnorm materialize:   {d:>12.3?}  ({:.2} GiB/s)", gibps(d));
+
+    let t = Instant::now();
+    let _ = x.sum().value(&ctx);
+    let d = t.elapsed();
+    println!("sum over leaf:       {d:>12.3?}  ({:.2} GiB/s)", gibps(d));
+
+    let t = Instant::now();
+    let _ = x.crossprod().to_dense(&ctx);
+    let d = t.elapsed();
+    println!("crossprod over leaf: {d:>12.3?}  ({:.2} GiB/s)", gibps(d));
+
+    let t = Instant::now();
+    let _ = ((&(&x + 1.0) * 2.0).abs().sqrt()).sum().value(&ctx);
+    let d = t.elapsed();
+    println!("4-op chain sum:      {d:>12.3?}  ({:.2} GiB/s)", gibps(d));
+
+    let u = FM::runif(&ctx, n, p, 0.0, 1.0, 2);
+    let t = Instant::now();
+    let _ = u.sum().value(&ctx);
+    let d = t.elapsed();
+    println!("runif gen + sum:     {d:>12.3?}  ({:.2} GiB/s)", gibps(d));
+}

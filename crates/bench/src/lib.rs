@@ -1,0 +1,259 @@
+//! Shared harness for the per-figure/per-table benchmark binaries.
+//!
+//! Every binary in `src/bin` regenerates one table or figure of the
+//! FlashR paper's evaluation (§4). The harness provides:
+//!
+//! * [`Scale`] — workload sizing. Benchmarks default to a laptop-scale
+//!   configuration that finishes in minutes; `--full` (or
+//!   `FLASHR_BENCH_SCALE=full`) grows the workloads for server runs.
+//! * context factories for the three execution configurations the paper
+//!   compares (in-memory, external-memory with the local-server SSD
+//!   profile, external-memory with the EC2 NVMe profile);
+//! * timing, table printing, JSON result recording (under
+//!   `target/flashr-results/`), and peak-RSS sampling for Table 6.
+
+use flashr::prelude::*;
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Workload sizing for the harness binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Finishes in minutes on a laptop (default).
+    Quick,
+    /// Larger runs for real hardware.
+    Full,
+}
+
+impl Scale {
+    /// Parse from argv/env (`--full` flag or `FLASHR_BENCH_SCALE=full`).
+    pub fn from_env() -> Scale {
+        let argv_full = std::env::args().any(|a| a == "--full");
+        let env_full = std::env::var("FLASHR_BENCH_SCALE").map(|v| v == "full").unwrap_or(false);
+        if argv_full || env_full {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// Scale a quick-mode row count.
+    pub fn rows(&self, quick: u64, full: u64) -> u64 {
+        match self {
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+}
+
+/// The named argument after `--profile` (fig7: `local` or `ec2`).
+pub fn profile_arg() -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--profile")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "local".to_string())
+}
+
+/// Fresh scratch directory for an emulated SSD array.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("flashr-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// In-memory context sized for benchmarking.
+pub fn im_ctx() -> FlashCtx {
+    FlashCtx::in_memory()
+}
+
+/// External-memory context with the local-server SSD-array profile
+/// (paper §4: 24 SATA SSDs; scaled to 4 emulated devices here).
+pub fn em_ctx_local(tag: &str) -> FlashCtx {
+    let cfg = SafsConfig::striped_under(scratch_dir(tag), 4).with_throttle(ThrottleCfg::sata_ssd());
+    FlashCtx::on_ssds(cfg).expect("SAFS open failed")
+}
+
+/// External-memory context with the EC2 i3.16xlarge NVMe profile.
+pub fn em_ctx_ec2(tag: &str) -> FlashCtx {
+    let cfg = SafsConfig::striped_under(scratch_dir(tag), 4).with_throttle(ThrottleCfg::nvme_ssd());
+    FlashCtx::on_ssds(cfg).expect("SAFS open failed")
+}
+
+/// External-memory context with no throttle (raw host storage).
+pub fn em_ctx_raw(tag: &str) -> FlashCtx {
+    FlashCtx::on_ssds(SafsConfig::striped_under(scratch_dir(tag), 4)).expect("SAFS open failed")
+}
+
+/// Wall-clock one closure.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t = Instant::now();
+    let v = f();
+    (v, t.elapsed())
+}
+
+/// Peak resident set size of this process in bytes (Linux `VmHWM`).
+pub fn peak_rss_bytes() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// One measured cell of a result table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Measurement {
+    pub experiment: String,
+    pub algorithm: String,
+    pub system: String,
+    pub params: String,
+    pub seconds: f64,
+    pub extra: Option<f64>,
+}
+
+/// Accumulates rows, prints a formatted table, dumps JSON.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub rows: Vec<Measurement>,
+}
+
+impl Report {
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    pub fn push(&mut self, experiment: &str, algorithm: &str, system: &str, params: &str, seconds: f64) {
+        self.rows.push(Measurement {
+            experiment: experiment.into(),
+            algorithm: algorithm.into(),
+            system: system.into(),
+            params: params.into(),
+            seconds,
+            extra: None,
+        });
+    }
+
+    pub fn push_extra(
+        &mut self,
+        experiment: &str,
+        algorithm: &str,
+        system: &str,
+        params: &str,
+        seconds: f64,
+        extra: f64,
+    ) {
+        self.rows.push(Measurement {
+            experiment: experiment.into(),
+            algorithm: algorithm.into(),
+            system: system.into(),
+            params: params.into(),
+            seconds,
+            extra: Some(extra),
+        });
+    }
+
+    /// Normalized-runtime table per algorithm: every system's time divided
+    /// by `baseline_system`'s time (the paper's Figures 7/8 format).
+    pub fn print_normalized(&self, baseline_system: &str) {
+        let mut algorithms: Vec<String> = Vec::new();
+        let mut systems: Vec<String> = Vec::new();
+        for r in &self.rows {
+            if !algorithms.contains(&r.algorithm) {
+                algorithms.push(r.algorithm.clone());
+            }
+            if !systems.contains(&r.system) {
+                systems.push(r.system.clone());
+            }
+        }
+        print!("{:<22}", "algorithm");
+        for s in &systems {
+            print!("{s:>16}");
+        }
+        println!();
+        for a in &algorithms {
+            let base = self
+                .rows
+                .iter()
+                .find(|r| &r.algorithm == a && r.system == baseline_system)
+                .map(|r| r.seconds);
+            print!("{a:<22}");
+            for s in &systems {
+                match (self.rows.iter().find(|r| &r.algorithm == a && &r.system == s), base) {
+                    (Some(r), Some(b)) if b > 0.0 => print!("{:>15.2}x", r.seconds / b),
+                    (Some(r), _) => print!("{:>14.2}s ", r.seconds),
+                    _ => print!("{:>16}", "-"),
+                }
+            }
+            println!();
+        }
+    }
+
+    /// Raw seconds per row.
+    pub fn print_raw(&self) {
+        println!(
+            "{:<14} {:<22} {:<18} {:<24} {:>10}",
+            "experiment", "algorithm", "system", "params", "seconds"
+        );
+        for r in &self.rows {
+            println!(
+                "{:<14} {:<22} {:<18} {:<24} {:>10.3}{}",
+                r.experiment,
+                r.algorithm,
+                r.system,
+                r.params,
+                r.seconds,
+                r.extra.map(|e| format!("  [{e:.3}]")).unwrap_or_default()
+            );
+        }
+    }
+
+    /// Write all rows as JSON under `target/flashr-results/<name>.json`.
+    pub fn save_json(&self, name: &str) {
+        let dir = PathBuf::from("target/flashr-results");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join(format!("{name}.json"));
+        match serde_json::to_string_pretty(&self.rows) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("warning: could not write {}: {e}", path.display());
+                } else {
+                    println!("\nresults written to {}", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: could not serialize results: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parses_env() {
+        // Default (no flag in the test binary's argv) is Quick.
+        assert_eq!(Scale::from_env(), Scale::Quick);
+        assert_eq!(Scale::Quick.rows(10, 100), 10);
+        assert_eq!(Scale::Full.rows(10, 100), 100);
+    }
+
+    #[test]
+    fn peak_rss_reads_something() {
+        assert!(peak_rss_bytes() > 0, "VmHWM should be readable on Linux");
+    }
+
+    #[test]
+    fn report_collects_and_serializes() {
+        let mut r = Report::new();
+        r.push("fig7", "corr", "FlashR-IM", "n=100", 1.0);
+        r.push("fig7", "corr", "MLlib-like", "n=100", 4.0);
+        assert_eq!(r.rows.len(), 2);
+        let json = serde_json::to_string(&r.rows).unwrap();
+        assert!(json.contains("MLlib-like"));
+    }
+}

@@ -1,0 +1,344 @@
+//! Block matrices (paper §3.2.2).
+//!
+//! FlashR stores a tall matrix with many columns as a sequence of
+//! tall-and-skinny blocks of at most 32 columns, each a separate TAS
+//! matrix. Combined with I/O partitioning this gives 2-D partitioning:
+//! every (I/O partition × column block) tile fits in memory, and
+//! operations decompose into TAS operations per block.
+//!
+//! [`BlockMat`] implements that decomposition on top of [`FM`]:
+//! element-wise maps apply per block; `rowSums`/`matmul` combine partial
+//! per-block results with lazy adds (still one fused pass);
+//! `colSums`/`crossprod` assemble per-block sink results.
+
+use crate::dtype::DType;
+use crate::fm::FM;
+use crate::ops::{AggOp, BinaryOp, UnaryOp};
+use crate::session::FlashCtx;
+use flashr_linalg::Dense;
+
+/// Default block width (paper: 32 columns).
+pub const DEFAULT_BLOCK_COLS: usize = 32;
+
+/// A tall matrix stored as ≤`block_cols`-wide TAS blocks.
+#[derive(Debug, Clone)]
+pub struct BlockMat {
+    blocks: Vec<FM>,
+    nrows: u64,
+    ncols: usize,
+    block_cols: usize,
+}
+
+impl BlockMat {
+    /// Split a wide tall [`FM`] into blocks (lazy column selections).
+    pub fn from_fm(x: &FM, block_cols: usize) -> BlockMat {
+        assert!(block_cols >= 1);
+        assert!(x.is_tall(), "block matrices wrap tall matrices");
+        let ncols = x.ncol() as usize;
+        let nrows = x.nrow();
+        let mut blocks = Vec::new();
+        let mut c0 = 0;
+        while c0 < ncols {
+            let c1 = (c0 + block_cols).min(ncols);
+            blocks.push(x.cols(&(c0..c1).collect::<Vec<_>>()));
+            c0 = c1;
+        }
+        BlockMat { blocks, nrows, ncols, block_cols }
+    }
+
+    /// A uniformly random block matrix (each block its own generator).
+    pub fn runif(ctx: &FlashCtx, nrows: u64, ncols: usize, block_cols: usize, seed: u64) -> BlockMat {
+        let mut blocks = Vec::new();
+        let mut c0 = 0;
+        while c0 < ncols {
+            let c1 = (c0 + block_cols).min(ncols);
+            blocks.push(FM::runif(ctx, nrows, c1 - c0, 0.0, 1.0, seed.wrapping_add(c0 as u64)));
+            c0 = c1;
+        }
+        BlockMat { blocks, nrows, ncols, block_cols }
+    }
+
+    /// Rows.
+    pub fn nrow(&self) -> u64 {
+        self.nrows
+    }
+
+    /// Total columns.
+    pub fn ncol(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of column blocks.
+    pub fn nblocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The blocks.
+    pub fn blocks(&self) -> &[FM] {
+        &self.blocks
+    }
+
+    /// Element-wise unary op, blockwise.
+    pub fn unary(&self, op: UnaryOp) -> BlockMat {
+        BlockMat {
+            blocks: self.blocks.iter().map(|b| b.unary(op)).collect(),
+            ..self.shape_clone()
+        }
+    }
+
+    /// Element-wise binary op with a matching block matrix.
+    pub fn binary(&self, op: BinaryOp, other: &BlockMat) -> BlockMat {
+        assert_eq!(self.nrows, other.nrows, "block matrix row mismatch");
+        assert_eq!(self.ncols, other.ncols, "block matrix shape mismatch");
+        assert_eq!(self.block_cols, other.block_cols, "block width mismatch");
+        BlockMat {
+            blocks: self
+                .blocks
+                .iter()
+                .zip(&other.blocks)
+                .map(|(a, b)| a.binary(op, b, false))
+                .collect(),
+            ..self.shape_clone()
+        }
+    }
+
+    /// Element-wise with a scalar.
+    pub fn binary_scalar(&self, op: BinaryOp, s: f64) -> BlockMat {
+        BlockMat {
+            blocks: self.blocks.iter().map(|b| b.binary_scalar(op, s, false)).collect(),
+            ..self.shape_clone()
+        }
+    }
+
+    fn shape_clone(&self) -> BlockMat {
+        BlockMat {
+            blocks: Vec::new(),
+            nrows: self.nrows,
+            ncols: self.ncols,
+            block_cols: self.block_cols,
+        }
+    }
+
+    /// `colSums` across all blocks (one fused pass).
+    pub fn col_sums(&self, ctx: &FlashCtx) -> Vec<f64> {
+        let sinks: Vec<FM> = self.blocks.iter().map(|b| b.col_sums()).collect();
+        let refs: Vec<&FM> = sinks.iter().collect();
+        let outs = FM::materialize_multi(ctx, &refs);
+        let mut all = Vec::with_capacity(self.ncols);
+        for o in outs {
+            all.extend(o.to_vec(ctx));
+        }
+        all
+    }
+
+    /// `rowSums` across all blocks (lazy tall column; one pass when
+    /// materialized).
+    pub fn row_sums(&self) -> FM {
+        let mut acc = self.blocks[0].row_sums();
+        for b in &self.blocks[1..] {
+            acc = acc.binary(BinaryOp::Add, &b.row_sums(), false);
+        }
+        acc
+    }
+
+    /// `agg` over everything.
+    pub fn sum(&self, ctx: &FlashCtx) -> f64 {
+        let sinks: Vec<FM> = self.blocks.iter().map(|b| b.sum()).collect();
+        let refs: Vec<&FM> = sinks.iter().collect();
+        FM::materialize_multi(ctx, &refs).iter().map(|o| o.value(ctx)).sum()
+    }
+
+    /// `crossprod`: the full P×P Gramian assembled from block-pair sinks
+    /// (all pairs evaluated in one fused pass).
+    pub fn crossprod(&self, ctx: &FlashCtx) -> Dense {
+        let nb = self.blocks.len();
+        let mut sinks = Vec::new();
+        for i in 0..nb {
+            for j in i..nb {
+                sinks.push(self.blocks[i].crossprod_with(&self.blocks[j]));
+            }
+        }
+        let refs: Vec<&FM> = sinks.iter().collect();
+        let outs = FM::materialize_multi(ctx, &refs);
+        let mut g = Dense::zeros(self.ncols, self.ncols);
+        let mut idx = 0;
+        for i in 0..nb {
+            let ri = i * self.block_cols;
+            for j in i..nb {
+                let rj = j * self.block_cols;
+                let d = outs[idx].to_dense(ctx);
+                idx += 1;
+                for a in 0..d.rows() {
+                    for b in 0..d.cols() {
+                        g.set(ri + a, rj + b, d.at(a, b));
+                        g.set(rj + b, ri + a, d.at(a, b));
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    /// `X %*% B` with small dense `B` (P×k): per-block partial products
+    /// summed lazily — a single fused pass on materialization.
+    pub fn matmul(&self, b: &Dense) -> FM {
+        assert_eq!(b.rows(), self.ncols, "matmul inner dimension mismatch");
+        let k = b.cols();
+        let mut acc: Option<FM> = None;
+        for (i, blk) in self.blocks.iter().enumerate() {
+            let r0 = i * self.block_cols;
+            let r1 = (r0 + self.block_cols).min(self.ncols);
+            let sub = Dense::from_fn(r1 - r0, k, |r, c| b.at(r0 + r, c));
+            let part = blk.matmul(&FM::from_dense(sub));
+            acc = Some(match acc {
+                None => part,
+                Some(a) => a.binary(BinaryOp::Add, &part, false),
+            });
+        }
+        acc.expect("block matrix has at least one block")
+    }
+
+    /// Materialize every block (one fused pass) and return a leaf-backed
+    /// block matrix.
+    pub fn materialize(&self, ctx: &FlashCtx) -> BlockMat {
+        let refs: Vec<&FM> = self.blocks.iter().collect();
+        let blocks = FM::materialize_multi(ctx, &refs);
+        BlockMat { blocks, ..self.shape_clone() }
+    }
+
+    /// Copy into a dense matrix (tests / small data only).
+    pub fn to_dense(&self, ctx: &FlashCtx) -> Dense {
+        let mut out = Dense::zeros(self.nrows as usize, self.ncols);
+        for (i, blk) in self.blocks.iter().enumerate() {
+            let d = blk.to_dense(ctx);
+            let c0 = i * self.block_cols;
+            for r in 0..d.rows() {
+                for c in 0..d.cols() {
+                    out.set(r, c0 + c, d.at(r, c));
+                }
+            }
+        }
+        out
+    }
+
+    /// Cast every block.
+    pub fn cast(&self, to: DType) -> BlockMat {
+        BlockMat { blocks: self.blocks.iter().map(|b| b.cast(to)).collect(), ..self.shape_clone() }
+    }
+
+    /// Per-block `agg.col` of an arbitrary op, concatenated.
+    pub fn agg_cols(&self, ctx: &FlashCtx, op: AggOp) -> Vec<f64> {
+        let sinks: Vec<FM> = self
+            .blocks
+            .iter()
+            .map(|b| match op {
+                AggOp::Sum => b.col_sums(),
+                AggOp::Mean => b.col_means(),
+                AggOp::Min => b.col_min(),
+                AggOp::Max => b.col_max(),
+                other => panic!("unsupported blockwise agg {other:?}"),
+            })
+            .collect();
+        let refs: Vec<&FM> = sinks.iter().collect();
+        let outs = FM::materialize_multi(ctx, &refs);
+        let mut all = Vec::with_capacity(self.ncols);
+        for o in outs {
+            all.extend(o.to_vec(ctx));
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::CtxConfig;
+
+    fn ctx() -> FlashCtx {
+        FlashCtx::with_config(CtxConfig { rows_per_part: 64, ..Default::default() }, None)
+    }
+
+    fn wide(ctx: &FlashCtx, n: u64, p: usize) -> (FM, BlockMat) {
+        let fm = FM::runif(ctx, n, p, -1.0, 1.0, 17);
+        let bm = BlockMat::from_fm(&fm, 3);
+        (fm, bm)
+    }
+
+    #[test]
+    fn splits_into_expected_blocks() {
+        let ctx = ctx();
+        let (_, bm) = wide(&ctx, 100, 10);
+        assert_eq!(bm.nblocks(), 4); // 3+3+3+1
+        assert_eq!(bm.blocks()[3].ncol(), 1);
+        assert_eq!(bm.ncol(), 10);
+    }
+
+    #[test]
+    fn col_sums_match_whole_matrix() {
+        let ctx = ctx();
+        let (fm, bm) = wide(&ctx, 200, 10);
+        let whole = fm.col_sums().to_vec(&ctx);
+        let blocked = bm.col_sums(&ctx);
+        for (a, b) in whole.iter().zip(&blocked) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn row_sums_match_whole_matrix() {
+        let ctx = ctx();
+        let (fm, bm) = wide(&ctx, 150, 7);
+        let whole = fm.row_sums().to_vec(&ctx);
+        let blocked = bm.row_sums().to_vec(&ctx);
+        for (a, b) in whole.iter().zip(&blocked) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn crossprod_matches_whole_matrix() {
+        let ctx = ctx();
+        let (fm, bm) = wide(&ctx, 300, 8);
+        let whole = fm.crossprod().to_dense(&ctx);
+        let blocked = bm.crossprod(&ctx);
+        assert!(whole.max_abs_diff(&blocked) < 1e-9);
+    }
+
+    #[test]
+    fn matmul_matches_whole_matrix() {
+        let ctx = ctx();
+        let (fm, bm) = wide(&ctx, 120, 7);
+        let b = Dense::from_fn(7, 2, |r, c| (r + c) as f64 * 0.5 - 1.0);
+        let whole = fm.matmul(&FM::from_dense(b.clone())).to_dense(&ctx);
+        let blocked = bm.matmul(&b).to_dense(&ctx);
+        assert!(whole.max_abs_diff(&blocked) < 1e-9);
+    }
+
+    #[test]
+    fn elementwise_blockwise() {
+        let ctx = ctx();
+        let (fm, bm) = wide(&ctx, 90, 5);
+        let whole = fm.square().sum().value(&ctx);
+        let blocked = bm.unary(UnaryOp::Square).sum(&ctx);
+        assert!((whole - blocked).abs() < 1e-9);
+    }
+
+    #[test]
+    fn binary_between_block_matrices() {
+        let ctx = ctx();
+        let (fm, bm) = wide(&ctx, 90, 5);
+        let doubled = bm.binary(BinaryOp::Add, &bm);
+        let whole = (&fm + &fm).sum().value(&ctx);
+        assert!((doubled.sum(&ctx) - whole).abs() < 1e-9);
+    }
+
+    #[test]
+    fn materialize_roundtrip() {
+        let ctx = ctx();
+        let (fm, bm) = wide(&ctx, 80, 6);
+        let m = bm.materialize(&ctx);
+        let d1 = fm.to_dense(&ctx);
+        let d2 = m.to_dense(&ctx);
+        assert!(d1.max_abs_diff(&d2) < 1e-12);
+    }
+}

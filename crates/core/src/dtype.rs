@@ -1,0 +1,194 @@
+//! Element types of FlashR matrices.
+//!
+//! FlashR matrices carry a runtime dtype tag; kernels are monomorphized
+//! per element type and dispatched through the `dispatch!` macro.
+//! Mixed-dtype binary operations auto-insert casts following R-like
+//! promotion rules, so every arithmetic kernel is `T × T → T`.
+
+/// Runtime element type of a matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// 8-bit unsigned — R's `logical` and the output of comparison ops.
+    U8,
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer — R's widened integer accumulator.
+    I64,
+    /// 32-bit float.
+    F32,
+    /// 64-bit float — R's `numeric`.
+    F64,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    pub const fn size(self) -> usize {
+        match self {
+            DType::U8 => 1,
+            DType::I32 | DType::F32 => 4,
+            DType::I64 | DType::F64 => 8,
+        }
+    }
+
+    /// Whether this is a floating-point type.
+    pub const fn is_float(self) -> bool {
+        matches!(self, DType::F32 | DType::F64)
+    }
+
+    /// Position in the promotion ladder `U8 < I32 < I64 < F32 < F64`.
+    const fn rank(self) -> u8 {
+        match self {
+            DType::U8 => 0,
+            DType::I32 => 1,
+            DType::I64 => 2,
+            DType::F32 => 3,
+            DType::F64 => 4,
+        }
+    }
+
+    /// The common type two operands promote to.
+    pub fn promote(a: DType, b: DType) -> DType {
+        if a.rank() >= b.rank() {
+            a
+        } else {
+            b
+        }
+    }
+
+    /// Accumulator type used by summing aggregations over this dtype
+    /// (integers widen to I64, floats accumulate at F64 as R does).
+    pub fn sum_dtype(self) -> DType {
+        match self {
+            DType::U8 | DType::I32 | DType::I64 => DType::I64,
+            DType::F32 | DType::F64 => DType::F64,
+        }
+    }
+}
+
+impl std::fmt::Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DType::U8 => "u8",
+            DType::I32 => "i32",
+            DType::I64 => "i64",
+            DType::F32 => "f32",
+            DType::F64 => "f64",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dynamically typed scalar (used for fill values, scalar operands and
+/// scalar aggregation results).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scalar {
+    U8(u8),
+    I32(i32),
+    I64(i64),
+    F32(f32),
+    F64(f64),
+}
+
+impl Scalar {
+    /// The dtype this scalar carries.
+    pub fn dtype(self) -> DType {
+        match self {
+            Scalar::U8(_) => DType::U8,
+            Scalar::I32(_) => DType::I32,
+            Scalar::I64(_) => DType::I64,
+            Scalar::F32(_) => DType::F32,
+            Scalar::F64(_) => DType::F64,
+        }
+    }
+
+    /// Lossy conversion to f64 (exact for everything but huge i64).
+    pub fn to_f64(self) -> f64 {
+        match self {
+            Scalar::U8(v) => v as f64,
+            Scalar::I32(v) => v as f64,
+            Scalar::I64(v) => v as f64,
+            Scalar::F32(v) => v as f64,
+            Scalar::F64(v) => v,
+        }
+    }
+
+    /// Conversion to i64 (floats truncate).
+    pub fn to_i64(self) -> i64 {
+        match self {
+            Scalar::U8(v) => v as i64,
+            Scalar::I32(v) => v as i64,
+            Scalar::I64(v) => v,
+            Scalar::F32(v) => v as i64,
+            Scalar::F64(v) => v as i64,
+        }
+    }
+}
+
+impl From<f64> for Scalar {
+    fn from(v: f64) -> Self {
+        Scalar::F64(v)
+    }
+}
+impl From<i64> for Scalar {
+    fn from(v: i64) -> Self {
+        Scalar::I64(v)
+    }
+}
+impl From<i32> for Scalar {
+    fn from(v: i32) -> Self {
+        Scalar::I32(v)
+    }
+}
+impl From<u8> for Scalar {
+    fn from(v: u8) -> Self {
+        Scalar::U8(v)
+    }
+}
+impl From<f32> for Scalar {
+    fn from(v: f32) -> Self {
+        Scalar::F32(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::U8.size(), 1);
+        assert_eq!(DType::I32.size(), 4);
+        assert_eq!(DType::I64.size(), 8);
+        assert_eq!(DType::F32.size(), 4);
+        assert_eq!(DType::F64.size(), 8);
+    }
+
+    #[test]
+    fn promotion_ladder() {
+        use DType::*;
+        assert_eq!(DType::promote(U8, I32), I32);
+        assert_eq!(DType::promote(I64, I32), I64);
+        assert_eq!(DType::promote(I64, F32), F32);
+        assert_eq!(DType::promote(F32, F64), F64);
+        assert_eq!(DType::promote(F64, U8), F64);
+        for t in [U8, I32, I64, F32, F64] {
+            assert_eq!(DType::promote(t, t), t);
+        }
+    }
+
+    #[test]
+    fn sum_dtype_widens() {
+        assert_eq!(DType::U8.sum_dtype(), DType::I64);
+        assert_eq!(DType::I32.sum_dtype(), DType::I64);
+        assert_eq!(DType::F32.sum_dtype(), DType::F64);
+        assert_eq!(DType::F64.sum_dtype(), DType::F64);
+    }
+
+    #[test]
+    fn scalar_conversions() {
+        assert_eq!(Scalar::from(2.5f64).to_f64(), 2.5);
+        assert_eq!(Scalar::from(7i64).to_i64(), 7);
+        assert_eq!(Scalar::F64(-1.9).to_i64(), -1);
+        assert_eq!(Scalar::U8(3).dtype(), DType::U8);
+    }
+}

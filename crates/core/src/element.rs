@@ -1,0 +1,316 @@
+//! The `Element` trait monomorphizing GenOp kernels per dtype, and the
+//! dispatch macro that picks the instantiation from a runtime [`DType`].
+
+use crate::dtype::{DType, Scalar};
+use flashr_safs::Pod;
+
+/// An element type GenOp kernels can be instantiated over.
+///
+/// Integer types implement the float-flavoured methods by converting
+/// through `f64` (R semantics: `sqrt(4L)` is `2.0` — the FM layer inserts
+/// casts so those kernels only ever run on float dtypes; the defaults here
+/// keep the trait total).
+pub trait Element: Pod + PartialOrd + Send + Sync + std::fmt::Debug + 'static {
+    const DTYPE: DType;
+    fn zero() -> Self;
+    fn one() -> Self;
+    /// Identity for `min` aggregation (the type's maximum).
+    fn max_value() -> Self;
+    /// Identity for `max` aggregation (the type's minimum).
+    fn min_value() -> Self;
+
+    fn from_f64(v: f64) -> Self;
+    fn to_f64(self) -> f64;
+    fn from_i64(v: i64) -> Self;
+    fn to_i64(self) -> i64;
+    fn from_scalar(s: Scalar) -> Self;
+
+    fn add(self, o: Self) -> Self;
+    fn sub(self, o: Self) -> Self;
+    fn mul(self, o: Self) -> Self;
+    fn div(self, o: Self) -> Self;
+    fn rem(self, o: Self) -> Self;
+    fn pow(self, o: Self) -> Self;
+    fn minv(self, o: Self) -> Self;
+    fn maxv(self, o: Self) -> Self;
+    fn neg(self) -> Self;
+    fn abs(self) -> Self;
+}
+
+macro_rules! impl_int_element {
+    ($t:ty, $dt:expr) => {
+        impl Element for $t {
+            const DTYPE: DType = $dt;
+            #[inline(always)]
+            fn zero() -> Self {
+                0
+            }
+            #[inline(always)]
+            fn one() -> Self {
+                1
+            }
+            #[inline(always)]
+            fn max_value() -> Self {
+                <$t>::MAX
+            }
+            #[inline(always)]
+            fn min_value() -> Self {
+                <$t>::MIN
+            }
+            #[inline(always)]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn from_i64(v: i64) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn to_i64(self) -> i64 {
+                self as i64
+            }
+            #[inline(always)]
+            fn from_scalar(s: Scalar) -> Self {
+                s.to_i64() as $t
+            }
+            #[inline(always)]
+            fn add(self, o: Self) -> Self {
+                self.wrapping_add(o)
+            }
+            #[inline(always)]
+            fn sub(self, o: Self) -> Self {
+                self.wrapping_sub(o)
+            }
+            #[inline(always)]
+            fn mul(self, o: Self) -> Self {
+                self.wrapping_mul(o)
+            }
+            #[inline(always)]
+            fn div(self, o: Self) -> Self {
+                if o == 0 {
+                    0
+                } else {
+                    self.wrapping_div(o)
+                }
+            }
+            #[inline(always)]
+            fn rem(self, o: Self) -> Self {
+                if o == 0 {
+                    0
+                } else {
+                    self.wrapping_rem(o)
+                }
+            }
+            #[inline(always)]
+            fn pow(self, o: Self) -> Self {
+                Element::from_f64((self as f64).powf(o as f64))
+            }
+            #[inline(always)]
+            fn minv(self, o: Self) -> Self {
+                if self < o {
+                    self
+                } else {
+                    o
+                }
+            }
+            #[inline(always)]
+            fn maxv(self, o: Self) -> Self {
+                if self > o {
+                    self
+                } else {
+                    o
+                }
+            }
+            #[inline(always)]
+            fn neg(self) -> Self {
+                (0 as $t).wrapping_sub(self)
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                #[allow(unused_comparisons)]
+                if self < 0 {
+                    self.neg()
+                } else {
+                    self
+                }
+            }
+        }
+    };
+}
+
+impl_int_element!(u8, DType::U8);
+impl_int_element!(i32, DType::I32);
+impl_int_element!(i64, DType::I64);
+
+macro_rules! impl_float_element {
+    ($t:ty, $dt:expr) => {
+        impl Element for $t {
+            const DTYPE: DType = $dt;
+            #[inline(always)]
+            fn zero() -> Self {
+                0.0
+            }
+            #[inline(always)]
+            fn one() -> Self {
+                1.0
+            }
+            #[inline(always)]
+            fn max_value() -> Self {
+                <$t>::INFINITY
+            }
+            #[inline(always)]
+            fn min_value() -> Self {
+                <$t>::NEG_INFINITY
+            }
+            #[inline(always)]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn from_i64(v: i64) -> Self {
+                v as $t
+            }
+            #[inline(always)]
+            fn to_i64(self) -> i64 {
+                self as i64
+            }
+            #[inline(always)]
+            fn from_scalar(s: Scalar) -> Self {
+                s.to_f64() as $t
+            }
+            #[inline(always)]
+            fn add(self, o: Self) -> Self {
+                self + o
+            }
+            #[inline(always)]
+            fn sub(self, o: Self) -> Self {
+                self - o
+            }
+            #[inline(always)]
+            fn mul(self, o: Self) -> Self {
+                self * o
+            }
+            #[inline(always)]
+            fn div(self, o: Self) -> Self {
+                self / o
+            }
+            #[inline(always)]
+            fn rem(self, o: Self) -> Self {
+                self % o
+            }
+            #[inline(always)]
+            fn pow(self, o: Self) -> Self {
+                self.powf(o)
+            }
+            #[inline(always)]
+            fn minv(self, o: Self) -> Self {
+                self.min(o)
+            }
+            #[inline(always)]
+            fn maxv(self, o: Self) -> Self {
+                self.max(o)
+            }
+            #[inline(always)]
+            fn neg(self) -> Self {
+                -self
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                self.abs()
+            }
+        }
+    };
+}
+
+impl_float_element!(f32, DType::F32);
+impl_float_element!(f64, DType::F64);
+
+/// Instantiate `$body` with `$T` bound to the Rust type for `$dt`.
+///
+/// ```ignore
+/// dispatch!(dtype, T, { kernel::<T>(args) })
+/// ```
+#[macro_export]
+macro_rules! dispatch {
+    ($dt:expr, $T:ident, $body:block) => {
+        match $dt {
+            $crate::dtype::DType::U8 => {
+                type $T = u8;
+                $body
+            }
+            $crate::dtype::DType::I32 => {
+                type $T = i32;
+                $body
+            }
+            $crate::dtype::DType::I64 => {
+                type $T = i64;
+                $body
+            }
+            $crate::dtype::DType::F32 => {
+                type $T = f32;
+                $body
+            }
+            $crate::dtype::DType::F64 => {
+                type $T = f64;
+                $body
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dtype_constants_match() {
+        assert_eq!(<u8 as Element>::DTYPE, DType::U8);
+        assert_eq!(<i32 as Element>::DTYPE, DType::I32);
+        assert_eq!(<i64 as Element>::DTYPE, DType::I64);
+        assert_eq!(<f32 as Element>::DTYPE, DType::F32);
+        assert_eq!(<f64 as Element>::DTYPE, DType::F64);
+    }
+
+    #[test]
+    fn integer_division_by_zero_is_total() {
+        assert_eq!(<i32 as Element>::div(5, 0), 0);
+        assert_eq!(<i64 as Element>::rem(5, 0), 0);
+    }
+
+    #[test]
+    fn float_identities() {
+        assert_eq!(<f64 as Element>::max_value(), f64::INFINITY);
+        assert_eq!(<f64 as Element>::min_value(), f64::NEG_INFINITY);
+        assert_eq!(<f64 as Element>::pow(2.0, 10.0), 1024.0);
+    }
+
+    #[test]
+    fn dispatch_picks_the_right_type() {
+        fn size_of_dtype(dt: DType) -> usize {
+            dispatch!(dt, T, { std::mem::size_of::<T>() })
+        }
+        assert_eq!(size_of_dtype(DType::U8), 1);
+        assert_eq!(size_of_dtype(DType::F32), 4);
+        assert_eq!(size_of_dtype(DType::F64), 8);
+    }
+
+    #[test]
+    fn unsigned_abs_is_identity() {
+        assert_eq!(<u8 as Element>::abs(200), 200);
+        assert_eq!(<i32 as Element>::abs(-4), 4);
+    }
+
+    #[test]
+    fn from_scalar_routes_by_family() {
+        assert_eq!(<i64 as Element>::from_scalar(Scalar::F64(2.9)), 2);
+        assert_eq!(<f64 as Element>::from_scalar(Scalar::I64(3)), 3.0);
+    }
+}

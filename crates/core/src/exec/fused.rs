@@ -1,0 +1,547 @@
+//! The fused single-pass engine (paper §3.5).
+//!
+//! One parallel pass over the I/O partitions materializes every target in
+//! the DAG: worker threads claim partitions (sequentially, in batches that
+//! mirror the SAFS block size), prefetch external-memory leaves
+//! asynchronously, stream Pcache chunks depth-first through the operation
+//! graph with per-chunk memoization and buffer recycling, fold sink
+//! accumulators thread-locally, and write tall outputs back as whole
+//! partitions.
+
+use crate::chunk::{BufPool, Chunk};
+use crate::dag::{MapInput, MapOp, Node, NodeKind};
+use crate::exec::cumcoord::CumCoord;
+use crate::exec::plan::Plan;
+use crate::exec::{SinkAcc, Target, TargetResult};
+use crate::mat::{Layout, PartFetch, TasMat};
+use crate::ops;
+use crate::part::pcache_ranges;
+use crate::session::{FlashCtx, StorageClass};
+use flashr_safs::{IoBuf, IoTicket, SafsFile};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-tall-output shared state.
+struct TallState {
+    storage: StorageClass,
+    file: Option<SafsFile>,
+    parts: Mutex<Vec<Option<Arc<IoBuf>>>>,
+}
+
+/// Everything the worker threads share.
+struct Shared<'a> {
+    ctx: &'a FlashCtx,
+    plan: &'a Plan,
+    talls: &'a [TallState],
+    cums: &'a HashMap<u64, CumCoord>,
+    node_cursors: Vec<AtomicU64>,
+    global_cursor: AtomicU64,
+    use_affinity: bool,
+    nnodes: usize,
+    batch: u64,
+    merged: Mutex<Vec<Option<SinkAcc>>>,
+}
+
+/// Run one fused pass and return one result per target.
+pub fn run(ctx: &FlashCtx, targets: &[Target], resolved: &HashMap<u64, TasMat>) -> Vec<TargetResult> {
+    let started = Instant::now();
+    let plan = Plan::build(ctx, targets, resolved);
+    let stats = ctx.stats();
+    stats.add(&stats.passes, 1);
+
+    // Prepare tall outputs.
+    let tall_states: Vec<TallState> = plan
+        .talls
+        .iter()
+        .map(|t| {
+            let nparts = plan.nparts as usize;
+            match t.storage {
+                StorageClass::InMem => TallState {
+                    storage: t.storage,
+                    file: None,
+                    parts: Mutex::new(vec![None; nparts]),
+                },
+                StorageClass::Em => {
+                    let safs = ctx.safs().expect("EM output requires a SAFS runtime");
+                    let elem = t.node.dtype.size() as u64;
+                    let part_bytes = plan.parter.rows_per_part() * t.node.ncols as u64 * elem;
+                    let total = plan.nrows * t.node.ncols as u64 * elem;
+                    let file = safs
+                        .create_bytes(&safs.unique_name("fm"), part_bytes, total)
+                        .expect("EM output create failed");
+                    file.set_delete_on_drop(true);
+                    TallState { storage: t.storage, file: Some(file), parts: Mutex::new(Vec::new()) }
+                }
+            }
+        })
+        .collect();
+
+    let cums: HashMap<u64, CumCoord> =
+        plan.cum_nodes.iter().map(|n| (n.id, CumCoord::default())).collect();
+
+    let nparts = plan.nparts;
+    let nthreads = ctx.cfg().nthreads.min(nparts as usize).max(1);
+    let nnodes = ctx.cfg().numa_nodes.min(nparts as usize).max(1);
+    // NUMA-affine claiming needs a worker per node class, and cum carries
+    // need globally sequential dispatch.
+    let use_affinity = plan.cum_nodes.is_empty() && nthreads >= nnodes && nnodes > 1;
+
+    let any_em = plan.leaves.iter().any(|(_, m)| m.is_em())
+        || tall_states.iter().any(|t| t.file.is_some());
+    let batch = if any_em {
+        ctx.safs().map(|s| s.dispatch_batch()).unwrap_or(4) as u64
+    } else {
+        2
+    };
+
+    let shared = Shared {
+        ctx,
+        plan: &plan,
+        talls: &tall_states,
+        cums: &cums,
+        node_cursors: (0..nnodes).map(|_| AtomicU64::new(0)).collect(),
+        global_cursor: AtomicU64::new(0),
+        use_affinity,
+        nnodes,
+        batch,
+        merged: Mutex::new((0..plan.sinks.len()).map(|_| None).collect()),
+    };
+
+    std::thread::scope(|scope| {
+        for tid in 0..nthreads {
+            let shared = &shared;
+            scope.spawn(move || worker(tid, shared));
+        }
+    });
+
+    // Finalize.
+    let mut results: Vec<Option<TargetResult>> = (0..targets.len()).map(|_| None).collect();
+    {
+        let mut merged = shared.merged.lock();
+        for (i, (slot, _)) in plan.sinks.iter().enumerate() {
+            let acc = merged[i].take().expect("sink never accumulated");
+            results[*slot] = Some(TargetResult::Dense(acc.finalize()));
+        }
+    }
+    for (t, state) in plan.talls.iter().zip(tall_states) {
+        let mat = match state.storage {
+            StorageClass::InMem => {
+                let parts: Vec<Arc<IoBuf>> = state
+                    .parts
+                    .into_inner()
+                    .into_iter()
+                    .map(|p| p.expect("partition never produced"))
+                    .collect();
+                TasMat::assemble_in_mem(
+                    plan.nrows,
+                    t.node.ncols,
+                    t.node.dtype,
+                    Layout::ColMajor,
+                    plan.parter,
+                    parts,
+                )
+            }
+            StorageClass::Em => TasMat::from_em_file(
+                plan.nrows,
+                t.node.ncols,
+                t.node.dtype,
+                Layout::ColMajor,
+                plan.parter,
+                state.file.expect("EM state without file"),
+            ),
+        };
+        if t.is_cache {
+            t.node.install_cache(mat.clone());
+        }
+        if let Some(slot) = t.slot {
+            results[slot] = Some(TargetResult::Mat(mat));
+        }
+    }
+
+    stats.add(&stats.exec_nanos, started.elapsed().as_nanos() as u64);
+    results.into_iter().map(|r| r.expect("target produced no result")).collect()
+}
+
+/// Claim the next batch of partitions. Returns the partitions and whether
+/// they came from the worker's own NUMA node.
+fn claim(shared: &Shared<'_>, my_node: usize) -> (Vec<u64>, bool) {
+    let nparts = shared.plan.nparts;
+    if shared.use_affinity {
+        for offset in 0..shared.nnodes {
+            let node = (my_node + offset) % shared.nnodes;
+            let k0 = shared.node_cursors[node].fetch_add(shared.batch, Ordering::Relaxed);
+            let parts: Vec<u64> = (k0..k0 + shared.batch)
+                .map(|k| node as u64 + k * shared.nnodes as u64)
+                .filter(|&p| p < nparts)
+                .collect();
+            if !parts.is_empty() {
+                return (parts, offset == 0);
+            }
+        }
+        (Vec::new(), true)
+    } else {
+        let p0 = shared.global_cursor.fetch_add(shared.batch, Ordering::Relaxed);
+        ((p0..p0 + shared.batch).filter(|&p| p < nparts).collect(), true)
+    }
+}
+
+fn worker(tid: usize, shared: &Shared<'_>) {
+    let my_node = tid % shared.nnodes;
+    let mut pool = BufPool::new();
+    let mut sink_accs: Vec<SinkAcc> =
+        shared.plan.sinks.iter().map(|(_, n)| SinkAcc::new_for(n)).collect();
+    let mut pending_writes: Vec<IoTicket> = Vec::new();
+    let stats = shared.ctx.stats();
+
+    loop {
+        let (parts, local) = claim(shared, my_node);
+        if parts.is_empty() {
+            break;
+        }
+        if local {
+            stats.add(&stats.local_parts, parts.len() as u64);
+        } else {
+            stats.add(&stats.remote_parts, parts.len() as u64);
+        }
+
+        // Prefetch EM leaves for the whole batch (async, overlaps compute).
+        let mut fetches: Vec<HashMap<u64, PartFetch>> = parts
+            .iter()
+            .map(|&part| {
+                shared
+                    .plan
+                    .leaves
+                    .iter()
+                    .filter(|(_, m)| m.is_em())
+                    .map(|(nid, m)| (*nid, m.fetch_part(part)))
+                    .collect()
+            })
+            .collect();
+
+        for (idx, &part) in parts.iter().enumerate() {
+            // Bound the in-flight writes.
+            if pending_writes.len() > 8 {
+                for t in pending_writes.drain(..) {
+                    t.wait().expect("EM output write failed");
+                }
+            }
+            let mut leaf_bufs: HashMap<u64, Arc<IoBuf>> = HashMap::new();
+            for (nid, mat) in &shared.plan.leaves {
+                let buf = match fetches[idx].remove(nid) {
+                    Some(f) => f.wait(),
+                    None => mat.read_part(part),
+                };
+                leaf_bufs.insert(*nid, buf);
+            }
+            process_part(shared, part, &leaf_bufs, &mut pool, &mut sink_accs, &mut pending_writes);
+            stats.add(&stats.parts, 1);
+        }
+    }
+
+    for t in pending_writes {
+        t.wait().expect("EM output write failed");
+    }
+
+    // Deposit thread-local sink partials.
+    let mut merged = shared.merged.lock();
+    for (i, acc) in sink_accs.into_iter().enumerate() {
+        match &mut merged[i] {
+            slot @ None => *slot = Some(acc),
+            Some(existing) => existing.merge(acc),
+        }
+    }
+}
+
+/// Evaluation environment for one partition.
+struct PartEnv<'a> {
+    plan: &'a Plan,
+    cums: &'a HashMap<u64, CumCoord>,
+    leaf_bufs: &'a HashMap<u64, Arc<IoBuf>>,
+    part: u64,
+    part_rows: usize,
+    grow0: u64,
+}
+
+type Memo = HashMap<(u64, usize, usize), Rc<Chunk>>;
+
+fn process_part(
+    shared: &Shared<'_>,
+    part: u64,
+    leaf_bufs: &HashMap<u64, Arc<IoBuf>>,
+    pool: &mut BufPool,
+    sink_accs: &mut [SinkAcc],
+    pending_writes: &mut Vec<IoTicket>,
+) {
+    let plan = shared.plan;
+    let part_rows = plan.parter.part_rows(part, plan.nrows);
+    let grow0 = part * plan.parter.rows_per_part();
+    let env = PartEnv { plan, cums: shared.cums, leaf_bufs, part, part_rows, grow0 };
+    let stats = shared.ctx.stats();
+
+    // Output partition buffers for tall targets (column-major).
+    let mut tall_bufs: Vec<IoBuf> = plan
+        .talls
+        .iter()
+        .map(|t| IoBuf::zeroed(part_rows * t.node.ncols * t.node.dtype.size()))
+        .collect();
+
+    let mut memo: Memo = HashMap::new();
+    let step = plan.pcache_step;
+    for (r0, r1) in pcache_ranges(part_rows, step) {
+        stats.add(&stats.pcache_chunks, 1);
+        // Per-range consumer counters (paper §3.5.1): once every consumer
+        // of a node's chunk has run, the buffer recycles immediately so
+        // the next operation writes into cache-hot memory.
+        let mut remaining = plan.consumers.clone();
+
+        for (i, (_, sink)) in plan.sinks.iter().enumerate() {
+            match &sink.kind {
+                NodeKind::SinkFull { input, .. } | NodeKind::SinkCol { input, .. } => {
+                    let c = eval(&env, &mut memo, &mut remaining, pool, input, r0, r1);
+                    sink_accs[i].update(&[&c]);
+                    drop(c);
+                    consume(&mut memo, &mut remaining, pool, input, r0, r1);
+                }
+                NodeKind::SinkGramian { a, b } => {
+                    let ca = eval(&env, &mut memo, &mut remaining, pool, a, r0, r1);
+                    let cb = eval(&env, &mut memo, &mut remaining, pool, b, r0, r1);
+                    sink_accs[i].update(&[&ca, &cb]);
+                    drop((ca, cb));
+                    consume(&mut memo, &mut remaining, pool, a, r0, r1);
+                    consume(&mut memo, &mut remaining, pool, b, r0, r1);
+                }
+                NodeKind::SinkGroupBy { data, labels, .. } => {
+                    let cd = eval(&env, &mut memo, &mut remaining, pool, data, r0, r1);
+                    let cl = eval(&env, &mut memo, &mut remaining, pool, labels, r0, r1);
+                    sink_accs[i].update(&[&cd, &cl]);
+                    drop((cd, cl));
+                    consume(&mut memo, &mut remaining, pool, data, r0, r1);
+                    consume(&mut memo, &mut remaining, pool, labels, r0, r1);
+                }
+                other => panic!("not a sink: {other:?}"),
+            }
+        }
+
+        for (ti, t) in plan.talls.iter().enumerate() {
+            let c = eval(&env, &mut memo, &mut remaining, pool, &t.node, r0, r1);
+            write_rows(&mut tall_bufs[ti], t.node.dtype, part_rows, r0, &c);
+            drop(c);
+            consume(&mut memo, &mut remaining, pool, &t.node, r0, r1);
+        }
+
+        // Recycle this range's intermediates (full-partition entries for
+        // cum nodes persist until the partition completes).
+        let keys: Vec<_> = memo
+            .keys()
+            .filter(|(_, a, b)| (*a, *b) == (r0, r1) && !(r0 == 0 && r1 == part_rows))
+            .copied()
+            .collect();
+        for k in keys {
+            if let Some(rc) = memo.remove(&k) {
+                if let Ok(chunk) = Rc::try_unwrap(rc) {
+                    chunk.recycle(pool);
+                }
+            }
+        }
+    }
+
+    // Drain everything else (covers the full-partition entries).
+    for (_, rc) in memo.drain() {
+        if let Ok(chunk) = Rc::try_unwrap(rc) {
+            chunk.recycle(pool);
+        }
+    }
+
+    // Publish tall outputs.
+    for (ti, buf) in tall_bufs.into_iter().enumerate() {
+        match shared.talls[ti].storage {
+            StorageClass::InMem => {
+                shared.talls[ti].parts.lock()[part as usize] = Some(Arc::new(buf));
+            }
+            StorageClass::Em => {
+                let file = shared.talls[ti].file.as_ref().expect("EM state without file");
+                pending_writes
+                    .push(file.write_part_async(part, buf).expect("EM output submit failed"));
+            }
+        }
+    }
+}
+
+/// Copy a chunk into a column-major partition buffer at row offset `r0`.
+fn write_rows(buf: &mut IoBuf, dtype: crate::dtype::DType, part_rows: usize, r0: usize, chunk: &Chunk) {
+    let rows = chunk.rows();
+    crate::dispatch!(dtype, T, {
+        let dst = buf.typed_mut::<T>();
+        for c in 0..chunk.cols() {
+            dst[c * part_rows + r0..c * part_rows + r0 + rows].copy_from_slice(chunk.col::<T>(c));
+        }
+    });
+}
+
+/// Decrement a node's per-range consumer counter; when it reaches zero,
+/// drop the memo entry and recycle its buffer (paper §3.5.1).
+fn consume(
+    memo: &mut Memo,
+    remaining: &mut HashMap<u64, usize>,
+    pool: &mut BufPool,
+    node: &Arc<Node>,
+    r0: usize,
+    r1: usize,
+) {
+    // Cumulative columns memoize at partition granularity and must
+    // survive until the partition completes.
+    if matches!(node.kind, NodeKind::CumCol { .. }) {
+        return;
+    }
+    if let Some(count) = remaining.get_mut(&node.id) {
+        *count = count.saturating_sub(1);
+        if *count == 0 {
+            if let Some(rc) = memo.remove(&(node.id, r0, r1)) {
+                if let Ok(chunk) = Rc::try_unwrap(rc) {
+                    chunk.recycle(pool);
+                }
+            }
+        }
+    }
+}
+
+/// Depth-first, memoized evaluation of one node over a Pcache row range.
+fn eval(
+    env: &PartEnv<'_>,
+    memo: &mut Memo,
+    remaining: &mut HashMap<u64, usize>,
+    pool: &mut BufPool,
+    node: &Arc<Node>,
+    r0: usize,
+    r1: usize,
+) -> Rc<Chunk> {
+    let key = (node.id, r0, r1);
+    if let Some(c) = memo.get(&key) {
+        return c.clone();
+    }
+
+    // Materialized data (leaf / cached / eager-resolved)?
+    if let Some(mat) = env.plan.leaf_mat(node) {
+        let buf = env
+            .leaf_bufs
+            .get(&node.id)
+            .unwrap_or_else(|| panic!("leaf {} not prefetched", node.id));
+        let chunk = Rc::new(mat.pcache_chunk(buf, env.part, r0, r1, pool));
+        memo.insert(key, chunk.clone());
+        return chunk;
+    }
+
+    let chunk = match &node.kind {
+        NodeKind::Leaf(_) => unreachable!("handled by leaf_mat"),
+        NodeKind::Gen(spec) => {
+            Rc::new(spec.fill_chunk_as(node.dtype, env.grow0 + r0 as u64, r1 - r0, node.ncols, pool))
+        }
+        NodeKind::Map { op, inputs } => {
+            let out = match op {
+                MapOp::Unary(u) => {
+                    let input = eval_input(env, memo, remaining, pool, &inputs[0], r0, r1);
+                    ops::apply_unary(*u, &input, pool)
+                }
+                MapOp::Binary { op, swapped } => {
+                    let a = eval_input(env, memo, remaining, pool, &inputs[0], r0, r1);
+                    match &inputs[1] {
+                        MapInput::Node(bn) => {
+                            let b = eval(env, memo, remaining, pool, bn, r0, r1);
+                            ops::apply_binary(*op, &a, ops::BinOperand::Chunk(&b), *swapped, pool)
+                        }
+                        MapInput::Scalar(s) => {
+                            ops::apply_binary(*op, &a, ops::BinOperand::Scalar(*s), *swapped, pool)
+                        }
+                        MapInput::RowVec(v) => {
+                            ops::apply_binary(*op, &a, ops::BinOperand::RowVec(v), *swapped, pool)
+                        }
+                    }
+                }
+                MapOp::Cast(to) => {
+                    let input = eval_input(env, memo, remaining, pool, &inputs[0], r0, r1);
+                    ops::cast_chunk(&input, *to, pool)
+                }
+                MapOp::MatMul(b) => {
+                    let input = eval_input(env, memo, remaining, pool, &inputs[0], r0, r1);
+                    ops::matmul_chunk(&input, b, pool)
+                }
+                MapOp::InnerProd { b, f1, f2 } => {
+                    let input = eval_input(env, memo, remaining, pool, &inputs[0], r0, r1);
+                    ops::inner_prod_chunk(&input, b, *f1, *f2, pool)
+                }
+                MapOp::Select(idx) => {
+                    let input = eval_input(env, memo, remaining, pool, &inputs[0], r0, r1);
+                    ops::select_cols(&input, idx, pool)
+                }
+                MapOp::GroupCols { labels, op, ngroups } => {
+                    let input = eval_input(env, memo, remaining, pool, &inputs[0], r0, r1);
+                    ops::group_cols(&input, labels, *op, *ngroups, pool)
+                }
+                MapOp::Bind => {
+                    let chunks: Vec<Rc<Chunk>> = inputs
+                        .iter()
+                        .map(|i| eval_input(env, memo, remaining, pool, i, r0, r1))
+                        .collect();
+                    let refs: Vec<&Chunk> = chunks.iter().map(|c| c.as_ref()).collect();
+                    ops::bind_cols(&refs, pool)
+                }
+            };
+            Rc::new(out)
+        }
+        NodeKind::AggRow { op, input } => {
+            let c = eval(env, memo, remaining, pool, input, r0, r1);
+            Rc::new(ops::agg_row(*op, &c, pool))
+        }
+        NodeKind::CumRow { op, input } => {
+            let c = eval(env, memo, remaining, pool, input, r0, r1);
+            Rc::new(ops::cum_row_chunk(*op, &c, pool))
+        }
+        NodeKind::CumCol { op, input } => {
+            // Pipeline breaker: evaluate at partition granularity, chain
+            // the carry, then slice the requested range.
+            let full_key = (node.id, 0usize, env.part_rows);
+            if !memo.contains_key(&full_key) {
+                let input_full = eval(env, memo, remaining, pool, input, 0, env.part_rows);
+                let coord = &env.cums[&node.id];
+                let carry = coord.wait_carry(env.part);
+                let (out, new_carry) =
+                    ops::cum_col_chunk(*op, &input_full, carry.as_deref(), pool);
+                coord.publish(env.part, new_carry);
+                memo.insert(full_key, Rc::new(out));
+            }
+            let full = memo.get(&full_key).expect("just inserted").clone();
+            if r0 == 0 && r1 == env.part_rows {
+                return full; // already memoized under full_key == key
+            }
+            Rc::new(full.slice_rows(r0, r1, pool))
+        }
+        sink @ (NodeKind::SinkFull { .. }
+        | NodeKind::SinkCol { .. }
+        | NodeKind::SinkGramian { .. }
+        | NodeKind::SinkGroupBy { .. }) => {
+            panic!("sink node reached tall evaluation: {sink:?}")
+        }
+    };
+    memo.insert(key, chunk.clone());
+    chunk
+}
+
+/// Evaluate a map input that must be a node.
+fn eval_input(
+    env: &PartEnv<'_>,
+    memo: &mut Memo,
+    remaining: &mut HashMap<u64, usize>,
+    pool: &mut BufPool,
+    input: &MapInput,
+    r0: usize,
+    r1: usize,
+) -> Rc<Chunk> {
+    match input {
+        MapInput::Node(n) => eval(env, memo, remaining, pool, n, r0, r1),
+        other => panic!("first map input must be a matrix, got {other:?}"),
+    }
+}

@@ -1,0 +1,273 @@
+//! Materialization planning: DAG discovery, validation, output layout and
+//! Pcache sizing.
+
+use crate::dag::{Node, NodeKind};
+use crate::exec::{Target, TargetStorage};
+use crate::mat::TasMat;
+use crate::part::{pcache_rows, Partitioner};
+use crate::session::{ExecMode, FlashCtx, StorageClass};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A tall matrix the pass must produce.
+#[derive(Debug, Clone)]
+pub struct TallOut {
+    pub node: Arc<Node>,
+    pub storage: StorageClass,
+    /// Result slot in the caller's target list (`None` for `set.cache`
+    /// byproducts).
+    pub slot: Option<usize>,
+    /// Whether to install the result as the node's cache.
+    pub is_cache: bool,
+}
+
+/// The validated plan for one fused pass.
+pub struct Plan {
+    pub nrows: u64,
+    pub parter: Partitioner,
+    pub nparts: u64,
+    /// Pcache chunk height in rows.
+    pub pcache_step: usize,
+    pub sinks: Vec<(usize, Arc<Node>)>,
+    pub talls: Vec<TallOut>,
+    /// Leaves whose partitions must be fetched each partition
+    /// (node id → matrix), including cached and eager-resolved nodes.
+    pub leaves: Vec<(u64, TasMat)>,
+    /// `cum.col` nodes needing cross-partition carries.
+    pub cum_nodes: Vec<Arc<Node>>,
+    /// Eager-engine substitutions: node id → already-materialized matrix.
+    pub resolved: HashMap<u64, TasMat>,
+    /// How many consumers read each node's Pcache chunk within one range
+    /// (paper §3.5.1: the per-partition use counter driving buffer
+    /// recycling). Counts DAG parents plus target/sink reads.
+    pub consumers: HashMap<u64, usize>,
+}
+
+impl Plan {
+    /// Resolve a node to a materialized matrix if the pass may treat it
+    /// as a leaf.
+    pub fn leaf_mat<'a>(&'a self, node: &'a Node) -> Option<&'a TasMat> {
+        if let Some(m) = self.resolved.get(&node.id) {
+            return Some(m);
+        }
+        if let Some(m) = node.cached() {
+            return Some(m);
+        }
+        match &node.kind {
+            NodeKind::Leaf(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Build and validate the plan.
+    pub fn build(ctx: &FlashCtx, targets: &[Target], resolved: &HashMap<u64, TasMat>) -> Plan {
+        let mut sinks = Vec::new();
+        let mut talls: Vec<TallOut> = Vec::new();
+        let mut leaves: Vec<(u64, TasMat)> = Vec::new();
+        let mut cum_nodes = Vec::new();
+        let mut consumers: HashMap<u64, usize> = HashMap::new();
+        let mut visited: HashMap<u64, ()> = HashMap::new();
+        let mut tall_nrows: Option<u64> = None;
+        let mut parter: Option<Partitioner> = None;
+        let mut row_bytes_total = 0usize;
+
+        // Iterative DFS from all target roots.
+        let mut stack: Vec<Arc<Node>> = Vec::new();
+        for (slot, t) in targets.iter().enumerate() {
+            match t {
+                Target::Sink(node) => {
+                    assert!(node.is_sink(), "Target::Sink on a non-sink node");
+                    // The sink accumulator reads each input chunk once.
+                    for child in node.children() {
+                        *consumers.entry(child.id).or_default() += 1;
+                    }
+                    sinks.push((slot, node.clone()));
+                    stack.push(node.clone());
+                }
+                Target::Tall { node, storage } => {
+                    assert!(!node.is_sink(), "Target::Tall on a sink node");
+                    let storage = match storage {
+                        TargetStorage::Default => ctx.cfg().storage,
+                        TargetStorage::InMem => StorageClass::InMem,
+                        TargetStorage::Em => StorageClass::Em,
+                    };
+                    // The output copy reads the node's chunk once.
+                    *consumers.entry(node.id).or_default() += 1;
+                    talls.push(TallOut { node: node.clone(), storage, slot: Some(slot), is_cache: false });
+                    stack.push(node.clone());
+                }
+            }
+        }
+
+        while let Some(node) = stack.pop() {
+            if visited.contains_key(&node.id) {
+                continue;
+            }
+            visited.insert(node.id, ());
+
+            let is_resolved_leaf = resolved.contains_key(&node.id) || node.cached().is_some();
+
+            if !node.is_sink() {
+                // Every tall node must share the partition dimension.
+                match tall_nrows {
+                    None => tall_nrows = Some(node.nrows),
+                    Some(n) => assert_eq!(
+                        n, node.nrows,
+                        "matrices in one DAG must share the partition dimension"
+                    ),
+                }
+                row_bytes_total += node.ncols * node.dtype.size();
+            }
+
+            if let Some(mat) = resolved
+                .get(&node.id)
+                .or_else(|| node.cached())
+                .or(match &node.kind {
+                    NodeKind::Leaf(m) => Some(m),
+                    _ => None,
+                })
+            {
+                match parter {
+                    None => parter = Some(mat.parter()),
+                    Some(p) => assert_eq!(
+                        p,
+                        mat.parter(),
+                        "matrices in one DAG must share the I/O partitioning"
+                    ),
+                }
+                leaves.push((node.id, mat.clone()));
+                continue; // do not descend past materialized data
+            }
+
+            if let NodeKind::CumCol { .. } = node.kind {
+                cum_nodes.push(node.clone());
+            }
+
+            // set.cache: materialize as a byproduct of this pass.
+            if node.cache_requested()
+                && !node.is_sink()
+                && !is_resolved_leaf
+                && !matches!(node.kind, NodeKind::Leaf(_) | NodeKind::Gen(_))
+                && !talls.iter().any(|t| t.node.id == node.id)
+            {
+                // The paper caches small reused vectors (like k-means
+                // assignments) in RAM by default; `cache_storage` can
+                // redirect them to the SSDs.
+                *consumers.entry(node.id).or_default() += 1;
+                talls.push(TallOut {
+                    node: node.clone(),
+                    storage: ctx.cfg().cache_storage,
+                    slot: None,
+                    is_cache: true,
+                });
+            }
+
+            for child in node.children() {
+                if !node.is_sink() {
+                    // Sinks counted their inputs at target registration.
+                    *consumers.entry(child.id).or_default() += 1;
+                }
+                stack.push(child.clone());
+            }
+        }
+
+        let nrows = tall_nrows.expect("DAG contains no tall matrices");
+        let parter = parter.unwrap_or_else(|| ctx.parter());
+        let nparts = parter.nparts(nrows);
+
+        let full_rows = parter.rows_per_part() as usize;
+        let pcache_step = match ctx.cfg().mode {
+            ExecMode::CacheFuse => pcache_rows(ctx.cfg().pcache_bytes, row_bytes_total, full_rows),
+            // MemFuse (and the per-op passes of Eager) work on whole
+            // I/O partitions.
+            ExecMode::MemFuse | ExecMode::Eager => full_rows,
+        };
+
+        Plan {
+            nrows,
+            parter,
+            nparts,
+            pcache_step,
+            sinks,
+            talls,
+            leaves,
+            cum_nodes,
+            resolved: resolved.clone(),
+            consumers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::MapInput;
+    use crate::ops::{AggOp, BinaryOp};
+
+    fn ctx() -> FlashCtx {
+        let cfg = crate::session::CtxConfig { rows_per_part: 64, ..Default::default() };
+        FlashCtx::with_config(cfg, None)
+    }
+
+    fn leaf(n: u64, p: usize) -> Arc<Node> {
+        Node::leaf(TasMat::from_fn::<f64>(n, p, Partitioner::new(64), |r, c| (r + c as u64) as f64))
+    }
+
+    #[test]
+    fn collects_sinks_talls_and_leaves() {
+        let ctx = ctx();
+        let a = leaf(100, 2);
+        let b = leaf(100, 2);
+        let sum = Node::map_binary(BinaryOp::Add, a.clone(), MapInput::Node(b.clone()), false);
+        let sink = Node::sink_col(AggOp::Sum, sum.clone());
+        let plan = Plan::build(
+            &ctx,
+            &[Target::Sink(sink), Target::Tall { node: sum, storage: TargetStorage::Default }],
+            &HashMap::new(),
+        );
+        assert_eq!(plan.sinks.len(), 1);
+        assert_eq!(plan.talls.len(), 1);
+        assert_eq!(plan.leaves.len(), 2);
+        assert_eq!(plan.nrows, 100);
+        assert_eq!(plan.nparts, 2);
+    }
+
+    #[test]
+    fn cache_flag_adds_byproduct_output() {
+        let ctx = ctx();
+        let a = leaf(100, 2);
+        let doubled = Node::map_binary(
+            BinaryOp::Mul,
+            a,
+            MapInput::Scalar(crate::dtype::Scalar::F64(2.0)),
+            false,
+        );
+        doubled.set_cache(true);
+        let sink = Node::sink_full(AggOp::Sum, doubled.clone());
+        let plan = Plan::build(&ctx, &[Target::Sink(sink)], &HashMap::new());
+        assert_eq!(plan.talls.len(), 1);
+        assert!(plan.talls[0].is_cache);
+        assert_eq!(plan.talls[0].node.id, doubled.id);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_nrows_rejected() {
+        let ctx = ctx();
+        let a = leaf(100, 1);
+        let b = leaf(64, 1);
+        // Two disconnected sinks over different-height matrices in one pass.
+        let s1 = Node::sink_full(AggOp::Sum, a);
+        let s2 = Node::sink_full(AggOp::Sum, b);
+        let _ = Plan::build(&ctx, &[Target::Sink(s1), Target::Sink(s2)], &HashMap::new());
+    }
+
+    #[test]
+    fn mem_fuse_uses_full_partitions() {
+        let ctx = ctx().with_mode(ExecMode::MemFuse);
+        let a = leaf(100, 2);
+        let s = Node::sink_full(AggOp::Sum, a);
+        let plan = Plan::build(&ctx, &[Target::Sink(s)], &HashMap::new());
+        assert_eq!(plan.pcache_step, 64);
+    }
+}

@@ -1,0 +1,202 @@
+//! Lazily generated matrices (`runif.matrix`, `rnorm.matrix`, `seq`,
+//! constant fill).
+//!
+//! FlashR creates random matrices lazily like every other operation; only
+//! when a DAG materializes does data exist. We use a *counter-based*
+//! generator — each element is a deterministic hash of
+//! `(seed, row, col)` — so any Pcache chunk can be produced independently,
+//! in any order, on any thread, with a bit-identical result. This is what
+//! makes in-memory and external-memory runs of the same seeded workload
+//! exactly comparable.
+
+use crate::chunk::{BufPool, Chunk};
+use crate::dtype::DType;
+use crate::element::Element;
+
+/// Specification of a generated (virtual leaf) matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GenSpec {
+    /// Uniform on `[lo, hi)`.
+    Runif { seed: u64, lo: f64, hi: f64 },
+    /// Normal with the given mean and standard deviation.
+    Rnorm { seed: u64, mean: f64, sd: f64 },
+    /// `start + row * step` down every column (R's `seq`, columnwise).
+    Seq { start: f64, step: f64 },
+    /// Constant fill.
+    Const { value: f64 },
+}
+
+/// splitmix64 finalizer: statistically strong 64-bit mixing.
+#[inline(always)]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform f64 in [0, 1) from a counter (single splitmix finalization of
+/// a position key — fast and statistically fine for workload synthesis).
+#[inline(always)]
+fn unit_f64(seed: u64, row: u64, col: u64, stream: u64) -> f64 {
+    let key = seed
+        ^ row.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        ^ col.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ stream.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    let h = mix(key);
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl GenSpec {
+    /// The natural dtype of this generator's output.
+    pub fn dtype(&self) -> DType {
+        DType::F64
+    }
+
+    /// Element (global `row`, `col`) of the generated matrix.
+    pub fn value_at(&self, row: u64, col: usize) -> f64 {
+        match *self {
+            GenSpec::Runif { seed, lo, hi } => lo + (hi - lo) * unit_f64(seed, row, col as u64, 0),
+            GenSpec::Rnorm { seed, mean, sd } => {
+                // Box–Muller from two counter-based uniforms keyed by the
+                // row *pair*: even rows take the cosine branch, odd rows
+                // the sine branch, so each (ln, sqrt) serves two values
+                // while every element stays a pure function of (row, col).
+                let pair = row >> 1;
+                let u1 = unit_f64(seed, pair, col as u64, 1).max(f64::MIN_POSITIVE);
+                let u2 = unit_f64(seed, pair, col as u64, 2);
+                let r = (-2.0 * u1.ln()).sqrt();
+                let theta = std::f64::consts::TAU * u2;
+                let z = if row & 1 == 0 { r * theta.cos() } else { r * theta.sin() };
+                mean + sd * z
+            }
+            GenSpec::Seq { start, step } => start + row as f64 * step,
+            GenSpec::Const { value } => value,
+        }
+    }
+
+    /// Fill a column-major chunk covering global rows
+    /// `[row0, row0 + rows)` and all `cols` columns.
+    pub fn fill_chunk(&self, row0: u64, rows: usize, cols: usize, pool: &mut BufPool) -> Chunk {
+        let mut out = Chunk::alloc(DType::F64, rows, cols, pool);
+        let s = out.slice_mut::<f64>();
+        match *self {
+            GenSpec::Const { value } => s.fill(value),
+            GenSpec::Seq { start, step } => {
+                for c in 0..cols {
+                    for r in 0..rows {
+                        s[c * rows + r] = start + (row0 + r as u64) as f64 * step;
+                    }
+                }
+            }
+            _ => {
+                for c in 0..cols {
+                    for r in 0..rows {
+                        s[c * rows + r] = self.value_at(row0 + r as u64, c);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Fill as a typed chunk of `dtype` (values cast from f64).
+    pub fn fill_chunk_as(
+        &self,
+        dtype: DType,
+        row0: u64,
+        rows: usize,
+        cols: usize,
+        pool: &mut BufPool,
+    ) -> Chunk {
+        if dtype == DType::F64 {
+            return self.fill_chunk(row0, rows, cols, pool);
+        }
+        let mut out = Chunk::alloc(dtype, rows, cols, pool);
+        crate::dispatch!(dtype, T, {
+            let s = out.slice_mut::<T>();
+            for c in 0..cols {
+                for r in 0..rows {
+                    s[c * rows + r] = T::from_f64(self.value_at(row0 + r as u64, c));
+                }
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runif_range_and_determinism() {
+        let g = GenSpec::Runif { seed: 7, lo: -2.0, hi: 3.0 };
+        for r in 0..1000u64 {
+            let v = g.value_at(r, 0);
+            assert!((-2.0..3.0).contains(&v));
+            assert_eq!(v, g.value_at(r, 0), "not deterministic");
+        }
+    }
+
+    #[test]
+    fn runif_mean_is_plausible() {
+        let g = GenSpec::Runif { seed: 42, lo: 0.0, hi: 1.0 };
+        let n = 20_000u64;
+        let mean: f64 = (0..n).map(|r| g.value_at(r, 3)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn rnorm_moments_are_plausible() {
+        let g = GenSpec::Rnorm { seed: 9, mean: 2.0, sd: 3.0 };
+        let n = 40_000u64;
+        let vals: Vec<f64> = (0..n).map(|r| g.value_at(r, 0)).collect();
+        let mean = vals.iter().sum::<f64>() / n as f64;
+        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean={mean}");
+        assert!((var - 9.0).abs() < 0.3, "var={var}");
+    }
+
+    #[test]
+    fn chunks_are_position_independent() {
+        let g = GenSpec::Rnorm { seed: 1, mean: 0.0, sd: 1.0 };
+        let mut pool = BufPool::new();
+        let whole = g.fill_chunk(0, 100, 2, &mut pool);
+        let part = g.fill_chunk(40, 20, 2, &mut pool);
+        for c in 0..2 {
+            for r in 0..20 {
+                assert_eq!(part.get_f64(r, c), whole.get_f64(40 + r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn seq_and_const() {
+        let mut pool = BufPool::new();
+        let s = GenSpec::Seq { start: 5.0, step: 2.0 }.fill_chunk(10, 3, 2, &mut pool);
+        assert_eq!(s.get_f64(0, 0), 25.0);
+        assert_eq!(s.get_f64(2, 1), 29.0);
+        let c = GenSpec::Const { value: -1.5 }.fill_chunk(0, 4, 1, &mut pool);
+        assert!(c.slice::<f64>().iter().all(|&v| v == -1.5));
+    }
+
+    #[test]
+    fn typed_fill_casts() {
+        let mut pool = BufPool::new();
+        let c = GenSpec::Seq { start: 0.0, step: 1.0 }.fill_chunk_as(DType::I32, 0, 5, 1, &mut pool);
+        assert_eq!(c.slice::<i32>(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn distinct_columns_are_decorrelated() {
+        let g = GenSpec::Runif { seed: 3, lo: 0.0, hi: 1.0 };
+        let n = 10_000u64;
+        let mut dot = 0.0;
+        for r in 0..n {
+            dot += (g.value_at(r, 0) - 0.5) * (g.value_at(r, 1) - 0.5);
+        }
+        let corr = dot / n as f64 / (1.0 / 12.0);
+        assert!(corr.abs() < 0.05, "corr={corr}");
+    }
+}

@@ -1,0 +1,255 @@
+//! Aggregation GenOps: `agg`, `agg.row`, `agg.col` (paper Table 1).
+//!
+//! `agg.row` on a tall matrix is partition-local (each output row depends
+//! only on its input row) and lives here as a chunk kernel. Full and
+//! per-column aggregations cross partitions and are accumulated by the
+//! executor's sink accumulators (`crate::exec::accum`), which also use the
+//! per-op identities and combine rules defined here.
+
+use crate::chunk::{BufPool, Chunk};
+use crate::dtype::DType;
+use crate::element::Element;
+
+/// Predefined aggregation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggOp {
+    Sum,
+    Prod,
+    Min,
+    Max,
+    Mean,
+    /// Logical any (`|` in the paper's Table 2).
+    Any,
+    /// Logical all (`&`).
+    All,
+    /// Number of elements aggregated (R's `length`/`count` per group).
+    Count,
+    /// Index of the minimum (R's `which.min`, 0-based here).
+    WhichMin,
+    /// Index of the maximum.
+    WhichMax,
+}
+
+impl AggOp {
+    /// Output dtype of aggregating an `input`-typed matrix.
+    pub fn out_dtype(self, input: DType) -> DType {
+        match self {
+            AggOp::Sum | AggOp::Prod => input.sum_dtype(),
+            AggOp::Min | AggOp::Max => input,
+            AggOp::Mean => DType::F64,
+            AggOp::Any | AggOp::All => DType::U8,
+            AggOp::Count | AggOp::WhichMin | AggOp::WhichMax => DType::I64,
+        }
+    }
+
+    /// Identity element for f64 accumulation.
+    pub fn identity(self) -> f64 {
+        match self {
+            AggOp::Sum | AggOp::Count => 0.0,
+            AggOp::Prod => 1.0,
+            AggOp::Min | AggOp::WhichMin => f64::INFINITY,
+            AggOp::Max | AggOp::WhichMax => f64::NEG_INFINITY,
+            AggOp::Mean => 0.0,
+            AggOp::Any => 0.0,
+            AggOp::All => 1.0,
+        }
+    }
+
+    /// Fold a value into an f64 accumulator (value-only ops).
+    #[inline(always)]
+    pub fn fold(self, acc: f64, v: f64) -> f64 {
+        match self {
+            AggOp::Sum | AggOp::Mean => acc + v,
+            AggOp::Prod => acc * v,
+            AggOp::Min => acc.min(v),
+            AggOp::Max => acc.max(v),
+            AggOp::Count => acc + 1.0,
+            AggOp::Any => {
+                if v != 0.0 {
+                    1.0
+                } else {
+                    acc
+                }
+            }
+            AggOp::All => {
+                if v == 0.0 {
+                    0.0
+                } else {
+                    acc
+                }
+            }
+            AggOp::WhichMin | AggOp::WhichMax => {
+                unreachable!("which.min/which.max need positional folding")
+            }
+        }
+    }
+
+    /// Combine two partial f64 accumulators (value-only ops).
+    pub fn combine(self, a: f64, b: f64) -> f64 {
+        match self {
+            AggOp::Sum | AggOp::Mean | AggOp::Count => a + b,
+            AggOp::Prod => a * b,
+            AggOp::Min => a.min(b),
+            AggOp::Max => a.max(b),
+            AggOp::Any => {
+                if a != 0.0 || b != 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            AggOp::All => {
+                if a != 0.0 && b != 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            AggOp::WhichMin | AggOp::WhichMax => {
+                unreachable!("which.min/which.max need positional combining")
+            }
+        }
+    }
+
+    /// Whether this op needs a positional (value, index) accumulator.
+    pub fn is_positional(self) -> bool {
+        matches!(self, AggOp::WhichMin | AggOp::WhichMax)
+    }
+}
+
+/// `agg.row`: per-row aggregation over the columns of a chunk, producing
+/// a one-column chunk.
+pub fn agg_row(op: AggOp, input: &Chunk, pool: &mut BufPool) -> Chunk {
+    let rows = input.rows();
+    let cols = input.cols();
+    let out_dtype = op.out_dtype(input.dtype());
+
+    match op {
+        AggOp::WhichMin | AggOp::WhichMax => {
+            let mut out = Chunk::alloc(DType::I64, rows, 1, pool);
+            crate::dispatch!(input.dtype(), T, {
+                let want_min = op == AggOp::WhichMin;
+                let mut best: Vec<T> =
+                    vec![if want_min { <T as Element>::max_value() } else { <T as Element>::min_value() }; rows];
+                let idx = out.slice_mut::<i64>();
+                idx.fill(0);
+                for c in 0..cols {
+                    let col = input.col::<T>(c);
+                    for r in 0..rows {
+                        let better = if want_min { col[r] < best[r] } else { col[r] > best[r] };
+                        if better {
+                            best[r] = col[r];
+                            idx[r] = c as i64;
+                        }
+                    }
+                }
+            });
+            out
+        }
+        AggOp::Count => {
+            let mut out = Chunk::alloc(DType::I64, rows, 1, pool);
+            out.slice_mut::<i64>().fill(cols as i64);
+            out
+        }
+        _ => {
+            // f64 row accumulators, then cast into the output dtype.
+            let mut acc = vec![op.identity(); rows];
+            crate::dispatch!(input.dtype(), T, {
+                for c in 0..cols {
+                    let col = input.col::<T>(c);
+                    for r in 0..rows {
+                        acc[r] = op.fold(acc[r], col[r].to_f64());
+                    }
+                }
+            });
+            if op == AggOp::Mean {
+                for a in &mut acc {
+                    *a /= cols as f64;
+                }
+            }
+            let mut out = Chunk::alloc(out_dtype, rows, 1, pool);
+            crate::dispatch!(out_dtype, O, {
+                let dst = out.slice_mut::<O>();
+                for (d, a) in dst.iter_mut().zip(&acc) {
+                    *d = O::from_f64(*a);
+                }
+            });
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_sums_and_means() {
+        let mut pool = BufPool::new();
+        // 2x3 col-major: rows are [1,3,5] and [2,4,6]
+        let c = Chunk::from_slice::<f64>(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let s = agg_row(AggOp::Sum, &c, &mut pool);
+        assert_eq!(s.slice::<f64>(), &[9.0, 12.0]);
+        let m = agg_row(AggOp::Mean, &c, &mut pool);
+        assert_eq!(m.slice::<f64>(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn row_min_max_keep_input_dtype() {
+        let mut pool = BufPool::new();
+        let c = Chunk::from_slice::<i32>(2, 3, &[5, -1, 2, 8, -3, 0]);
+        let mn = agg_row(AggOp::Min, &c, &mut pool);
+        assert_eq!(mn.dtype(), DType::I32);
+        assert_eq!(mn.slice::<i32>(), &[-3, -1]);
+        let mx = agg_row(AggOp::Max, &c, &mut pool);
+        assert_eq!(mx.slice::<i32>(), &[5, 8]);
+    }
+
+    #[test]
+    fn which_min_per_row() {
+        let mut pool = BufPool::new();
+        // rows: [3,1,2] and [0,5,-2]
+        let c = Chunk::from_slice::<f64>(2, 3, &[3.0, 0.0, 1.0, 5.0, 2.0, -2.0]);
+        let w = agg_row(AggOp::WhichMin, &c, &mut pool);
+        assert_eq!(w.dtype(), DType::I64);
+        assert_eq!(w.slice::<i64>(), &[1, 2]);
+        let w = agg_row(AggOp::WhichMax, &c, &mut pool);
+        assert_eq!(w.slice::<i64>(), &[0, 1]);
+    }
+
+    #[test]
+    fn which_min_ties_pick_first() {
+        let mut pool = BufPool::new();
+        let c = Chunk::from_slice::<f64>(1, 3, &[1.0, 1.0, 1.0]);
+        let w = agg_row(AggOp::WhichMin, &c, &mut pool);
+        assert_eq!(w.slice::<i64>(), &[0]);
+    }
+
+    #[test]
+    fn any_all_count() {
+        let mut pool = BufPool::new();
+        let c = Chunk::from_slice::<u8>(2, 2, &[0, 1, 0, 1]);
+        assert_eq!(agg_row(AggOp::Any, &c, &mut pool).slice::<u8>(), &[0, 1]);
+        assert_eq!(agg_row(AggOp::All, &c, &mut pool).slice::<u8>(), &[0, 1]);
+        assert_eq!(agg_row(AggOp::Count, &c, &mut pool).slice::<i64>(), &[2, 2]);
+    }
+
+    #[test]
+    fn sum_widens_integers() {
+        let mut pool = BufPool::new();
+        let c = Chunk::from_slice::<u8>(1, 3, &[200, 200, 200]);
+        let s = agg_row(AggOp::Sum, &c, &mut pool);
+        assert_eq!(s.dtype(), DType::I64);
+        assert_eq!(s.slice::<i64>(), &[600]);
+    }
+
+    #[test]
+    fn identities_and_combine() {
+        assert_eq!(AggOp::Sum.combine(2.0, 3.0), 5.0);
+        assert_eq!(AggOp::Prod.combine(2.0, 3.0), 6.0);
+        assert_eq!(AggOp::Min.combine(2.0, 3.0), 2.0);
+        assert_eq!(AggOp::Max.identity(), f64::NEG_INFINITY);
+        assert_eq!(AggOp::All.combine(1.0, 0.0), 0.0);
+        assert_eq!(AggOp::Any.combine(0.0, 1.0), 1.0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Element-wise binary operations (`mapply` GenOp) with broadcasting.
+//!
+//! Broadcast forms mirror what the R overrides need:
+//! * chunk ⊕ chunk of the same shape,
+//! * chunk ⊕ one-column chunk (the column is recycled across columns —
+//!   R's vector recycling for `X * y` with `y` a column),
+//! * chunk ⊕ scalar,
+//! * chunk ⊕ row vector (R's `sweep(X, 2, stats, op)`).
+//!
+//! Mixed dtypes never reach these kernels: the FM layer inserts casts so
+//! both operands share a dtype.
+
+use crate::chunk::{BufPool, Chunk};
+use crate::dtype::{DType, Scalar};
+use crate::element::Element;
+
+/// Predefined binary element functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Pow,
+    Min,
+    Max,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    /// `(a - b)²` — the `euclidean` function the paper passes to
+    /// `inner.prod` for k-means distances.
+    EuclidSq,
+}
+
+impl BinaryOp {
+    /// Whether the op returns a logical (U8) result.
+    pub fn is_predicate(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::Ne
+                | BinaryOp::Lt
+                | BinaryOp::Le
+                | BinaryOp::Gt
+                | BinaryOp::Ge
+                | BinaryOp::And
+                | BinaryOp::Or
+        )
+    }
+
+    /// Output dtype given the (already promoted) operand dtype.
+    pub fn out_dtype(self, operand: DType) -> DType {
+        if self.is_predicate() {
+            DType::U8
+        } else {
+            operand
+        }
+    }
+
+    #[inline(always)]
+    fn eval<T: Element>(self, a: T, b: T) -> T {
+        match self {
+            BinaryOp::Add => a.add(b),
+            BinaryOp::Sub => a.sub(b),
+            BinaryOp::Mul => a.mul(b),
+            BinaryOp::Div => a.div(b),
+            BinaryOp::Rem => a.rem(b),
+            BinaryOp::Pow => a.pow(b),
+            BinaryOp::Min => a.minv(b),
+            BinaryOp::Max => a.maxv(b),
+            BinaryOp::EuclidSq => {
+                let d = a.sub(b);
+                d.mul(d)
+            }
+            _ => unreachable!("predicate ops use eval_pred"),
+        }
+    }
+
+    #[inline(always)]
+    fn eval_pred<T: Element>(self, a: T, b: T) -> u8 {
+        let t = T::zero();
+        match self {
+            BinaryOp::Eq => u8::from(a == b),
+            BinaryOp::Ne => u8::from(a != b),
+            BinaryOp::Lt => u8::from(a < b),
+            BinaryOp::Le => u8::from(a <= b),
+            BinaryOp::Gt => u8::from(a > b),
+            BinaryOp::Ge => u8::from(a >= b),
+            BinaryOp::And => u8::from(a != t && b != t),
+            BinaryOp::Or => u8::from(a != t || b != t),
+            _ => unreachable!("arithmetic ops use eval"),
+        }
+    }
+}
+
+/// The right-hand operand of a broadcasting binary op.
+#[derive(Debug, Clone, Copy)]
+pub enum BinOperand<'a> {
+    /// Another chunk: same shape, or a single column recycled.
+    Chunk(&'a Chunk),
+    /// A scalar constant.
+    Scalar(Scalar),
+    /// A per-column constant (length = `a.cols()`).
+    RowVec(&'a [f64]),
+}
+
+enum ColSrc<'a, T> {
+    Slice(&'a [T]),
+    Const(T),
+}
+
+fn col_src<'a, T: Element>(b: &BinOperand<'a>, col: usize, a_rows: usize) -> ColSrc<'a, T> {
+    match b {
+        BinOperand::Chunk(ch) => {
+            assert_eq!(ch.rows(), a_rows, "binary operand row mismatch");
+            let c = if ch.cols() == 1 { 0 } else { col };
+            ColSrc::Slice(ch.col::<T>(c))
+        }
+        BinOperand::Scalar(s) => ColSrc::Const(T::from_scalar(*s)),
+        BinOperand::RowVec(v) => ColSrc::Const(T::from_f64(v[col])),
+    }
+}
+
+/// Apply `op(a, b)` (or `op(b, a)` when `swapped`) over a chunk with
+/// broadcasting; returns a fresh chunk.
+pub fn apply_binary(
+    op: BinaryOp,
+    a: &Chunk,
+    b: BinOperand<'_>,
+    swapped: bool,
+    pool: &mut BufPool,
+) -> Chunk {
+    let rows = a.rows();
+    let cols = a.cols();
+    if let BinOperand::Chunk(ch) = &b {
+        assert!(
+            ch.cols() == cols || ch.cols() == 1,
+            "binary operand col mismatch: {} vs {}",
+            ch.cols(),
+            cols
+        );
+        assert_eq!(ch.dtype(), a.dtype(), "binary operands must share a dtype");
+    }
+    if let BinOperand::RowVec(v) = &b {
+        assert_eq!(v.len(), cols, "row-vector operand length mismatch");
+    }
+
+    if op.is_predicate() {
+        let mut out = Chunk::alloc(DType::U8, rows, cols, pool);
+        crate::dispatch!(a.dtype(), T, {
+            for c in 0..cols {
+                let acol = a.col::<T>(c);
+                let dst_all = out.slice_mut::<u8>();
+                let dst = &mut dst_all[c * rows..(c + 1) * rows];
+                match col_src::<T>(&b, c, rows) {
+                    ColSrc::Slice(bcol) => {
+                        for i in 0..rows {
+                            dst[i] = if swapped {
+                                op.eval_pred(bcol[i], acol[i])
+                            } else {
+                                op.eval_pred(acol[i], bcol[i])
+                            };
+                        }
+                    }
+                    ColSrc::Const(bv) => {
+                        for i in 0..rows {
+                            dst[i] = if swapped {
+                                op.eval_pred(bv, acol[i])
+                            } else {
+                                op.eval_pred(acol[i], bv)
+                            };
+                        }
+                    }
+                }
+            }
+        });
+        return out;
+    }
+
+    let mut out = Chunk::alloc(a.dtype(), rows, cols, pool);
+    crate::dispatch!(a.dtype(), T, {
+        for c in 0..cols {
+            let acol = a.col::<T>(c);
+            let dst_all = out.slice_mut::<T>();
+            let dst = &mut dst_all[c * rows..(c + 1) * rows];
+            match col_src::<T>(&b, c, rows) {
+                ColSrc::Slice(bcol) => {
+                    if swapped {
+                        for i in 0..rows {
+                            dst[i] = op.eval(bcol[i], acol[i]);
+                        }
+                    } else {
+                        for i in 0..rows {
+                            dst[i] = op.eval(acol[i], bcol[i]);
+                        }
+                    }
+                }
+                ColSrc::Const(bv) => {
+                    if swapped {
+                        for i in 0..rows {
+                            dst[i] = op.eval(bv, acol[i]);
+                        }
+                    } else {
+                        for i in 0..rows {
+                            dst[i] = op.eval(acol[i], bv);
+                        }
+                    }
+                }
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c_f64(rows: usize, cols: usize, vals: &[f64]) -> Chunk {
+        Chunk::from_slice::<f64>(rows, cols, vals)
+    }
+
+    #[test]
+    fn same_shape_arithmetic() {
+        let mut pool = BufPool::new();
+        let a = c_f64(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = c_f64(2, 2, &[10.0, 20.0, 30.0, 40.0]);
+        let s = apply_binary(BinaryOp::Add, &a, BinOperand::Chunk(&b), false, &mut pool);
+        assert_eq!(s.slice::<f64>(), &[11.0, 22.0, 33.0, 44.0]);
+        let d = apply_binary(BinaryOp::Sub, &a, BinOperand::Chunk(&b), true, &mut pool);
+        assert_eq!(d.slice::<f64>(), &[9.0, 18.0, 27.0, 36.0]);
+    }
+
+    #[test]
+    fn scalar_broadcast() {
+        let mut pool = BufPool::new();
+        let a = c_f64(3, 1, &[1.0, 2.0, 3.0]);
+        let m = apply_binary(BinaryOp::Mul, &a, BinOperand::Scalar(Scalar::F64(2.0)), false, &mut pool);
+        assert_eq!(m.slice::<f64>(), &[2.0, 4.0, 6.0]);
+        // swapped: 10 / a
+        let q = apply_binary(BinaryOp::Div, &a, BinOperand::Scalar(Scalar::F64(6.0)), true, &mut pool);
+        assert_eq!(q.slice::<f64>(), &[6.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn column_recycling() {
+        let mut pool = BufPool::new();
+        let a = c_f64(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let y = c_f64(2, 1, &[10.0, 100.0]);
+        let s = apply_binary(BinaryOp::Add, &a, BinOperand::Chunk(&y), false, &mut pool);
+        assert_eq!(s.slice::<f64>(), &[11.0, 102.0, 13.0, 104.0, 15.0, 106.0]);
+    }
+
+    #[test]
+    fn row_vector_sweep() {
+        let mut pool = BufPool::new();
+        let a = c_f64(2, 2, &[2.0, 4.0, 9.0, 12.0]);
+        let stats = [2.0, 3.0];
+        let s = apply_binary(BinaryOp::Div, &a, BinOperand::RowVec(&stats), false, &mut pool);
+        assert_eq!(s.slice::<f64>(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn predicates_output_u8() {
+        let mut pool = BufPool::new();
+        let a = Chunk::from_slice::<i64>(3, 1, &[1, 5, 3]);
+        let b = Chunk::from_slice::<i64>(3, 1, &[2, 5, 1]);
+        let lt = apply_binary(BinaryOp::Lt, &a, BinOperand::Chunk(&b), false, &mut pool);
+        assert_eq!(lt.dtype(), DType::U8);
+        assert_eq!(lt.slice::<u8>(), &[1, 0, 0]);
+        let eq = apply_binary(BinaryOp::Eq, &a, BinOperand::Chunk(&b), false, &mut pool);
+        assert_eq!(eq.slice::<u8>(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn logical_ops_on_nonzero_semantics() {
+        let mut pool = BufPool::new();
+        let a = Chunk::from_slice::<u8>(4, 1, &[0, 1, 0, 1]);
+        let b = Chunk::from_slice::<u8>(4, 1, &[0, 0, 1, 1]);
+        let and = apply_binary(BinaryOp::And, &a, BinOperand::Chunk(&b), false, &mut pool);
+        assert_eq!(and.slice::<u8>(), &[0, 0, 0, 1]);
+        let or = apply_binary(BinaryOp::Or, &a, BinOperand::Chunk(&b), false, &mut pool);
+        assert_eq!(or.slice::<u8>(), &[0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn euclid_sq() {
+        let mut pool = BufPool::new();
+        let a = c_f64(2, 1, &[3.0, -1.0]);
+        let e = apply_binary(BinaryOp::EuclidSq, &a, BinOperand::Scalar(Scalar::F64(1.0)), false, &mut pool);
+        assert_eq!(e.slice::<f64>(), &[4.0, 4.0]);
+    }
+
+    #[test]
+    fn min_max_pmin_pmax() {
+        let mut pool = BufPool::new();
+        let a = c_f64(3, 1, &[1.0, 5.0, 3.0]);
+        let b = c_f64(3, 1, &[2.0, 4.0, 3.0]);
+        let mn = apply_binary(BinaryOp::Min, &a, BinOperand::Chunk(&b), false, &mut pool);
+        assert_eq!(mn.slice::<f64>(), &[1.0, 4.0, 3.0]);
+        let mx = apply_binary(BinaryOp::Max, &a, BinOperand::Chunk(&b), false, &mut pool);
+        assert_eq!(mx.slice::<f64>(), &[2.0, 5.0, 3.0]);
+    }
+
+    #[test]
+    fn integer_pow_and_rem() {
+        let mut pool = BufPool::new();
+        let a = Chunk::from_slice::<i32>(3, 1, &[2, 3, 7]);
+        let p = apply_binary(BinaryOp::Pow, &a, BinOperand::Scalar(Scalar::I32(2)), false, &mut pool);
+        assert_eq!(p.slice::<i32>(), &[4, 9, 49]);
+        let r = apply_binary(BinaryOp::Rem, &a, BinOperand::Scalar(Scalar::I32(3)), false, &mut pool);
+        assert_eq!(r.slice::<i32>(), &[2, 0, 1]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Inner-product GenOps on chunks: tall × small multiplication.
+//!
+//! `X %*% B` with tall `X` and small `B` keeps the partition dimension
+//! (paper Fig. 5 operations e/f): each output chunk depends only on its
+//! input chunk plus the shared read-only `B`. Floating point goes through
+//! the BLAS-style strided GEMM; the generalized `inner.prod(A, B, f1, f2)`
+//! (paper Table 1) runs the predefined function pair — this is how k-means
+//! computes Euclidean distances in one fused pass.
+
+use crate::chunk::{BufPool, Chunk};
+use crate::dtype::DType;
+use crate::element::Element;
+use crate::ops::binary::BinaryOp;
+use flashr_linalg::{gemm_strided, Dense};
+
+/// `out = chunk %*% b` (f64 fast path through the strided GEMM kernel).
+///
+/// `chunk` must be f64 `rows × p`; `b` is row-major `p × k`.
+pub fn matmul_chunk(input: &Chunk, b: &Dense, pool: &mut BufPool) -> Chunk {
+    assert_eq!(input.dtype(), DType::F64, "BLAS path requires f64 (cast first)");
+    assert_eq!(input.cols(), b.rows(), "inner dimensions disagree");
+    let rows = input.rows();
+    let k = b.cols();
+    let mut out = Chunk::alloc(DType::F64, rows, k, pool);
+    // A: col-major rows×p → rsa=1, csa=rows. B: row-major p×k.
+    // C: col-major rows×k → rsc=1, csc=rows.
+    gemm_strided(
+        rows,
+        k,
+        input.cols(),
+        1.0,
+        input.slice::<f64>(),
+        1,
+        rows,
+        b.as_slice(),
+        b.cols(),
+        1,
+        0.0,
+        out.slice_mut::<f64>(),
+        1,
+        rows,
+    );
+    out
+}
+
+/// Generalized inner product:
+/// `out[r, j] = fold_f2 over k of f1(chunk[r, k], b[k, j])`.
+///
+/// `f2` must be one of the associative reducers (`Add`, `Mul`, `Min`,
+/// `Max`). Runs in the chunk's own dtype.
+pub fn inner_prod_chunk(
+    input: &Chunk,
+    b: &Dense,
+    f1: BinaryOp,
+    f2: BinaryOp,
+    pool: &mut BufPool,
+) -> Chunk {
+    assert_eq!(input.cols(), b.rows(), "inner dimensions disagree");
+    assert!(
+        matches!(f2, BinaryOp::Add | BinaryOp::Mul | BinaryOp::Min | BinaryOp::Max),
+        "inner.prod combiner must be associative, got {f2:?}"
+    );
+    let rows = input.rows();
+    let p = input.cols();
+    let k = b.cols();
+    let mut out = Chunk::alloc(input.dtype(), rows, k, pool);
+    crate::dispatch!(input.dtype(), T, {
+        let eval1 = |a: T, bb: T| -> T {
+            match f1 {
+                BinaryOp::Add => a.add(bb),
+                BinaryOp::Sub => a.sub(bb),
+                BinaryOp::Mul => a.mul(bb),
+                BinaryOp::Div => a.div(bb),
+                BinaryOp::Min => a.minv(bb),
+                BinaryOp::Max => a.maxv(bb),
+                BinaryOp::EuclidSq => {
+                    let d = a.sub(bb);
+                    d.mul(d)
+                }
+                other => panic!("unsupported inner.prod element function {other:?}"),
+            }
+        };
+        let eval2 = |a: T, bb: T| -> T {
+            match f2 {
+                BinaryOp::Add => a.add(bb),
+                BinaryOp::Mul => a.mul(bb),
+                BinaryOp::Min => a.minv(bb),
+                BinaryOp::Max => a.maxv(bb),
+                _ => unreachable!(),
+            }
+        };
+        let src = input.slice::<T>();
+        let dst = out.slice_mut::<T>();
+        for j in 0..k {
+            let d = &mut dst[j * rows..(j + 1) * rows];
+            for kk in 0..p {
+                let bkj = T::from_f64(b.at(kk, j));
+                let col = &src[kk * rows..(kk + 1) * rows];
+                if kk == 0 {
+                    for r in 0..rows {
+                        d[r] = eval1(col[r], bkj);
+                    }
+                } else {
+                    for r in 0..rows {
+                        d[r] = eval2(d[r], eval1(col[r], bkj));
+                    }
+                }
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_matches_reference() {
+        let mut pool = BufPool::new();
+        // chunk 3x2 col-major: rows [1,3], [2,4], [5,6]... careful:
+        // values: col0 = [1,2,5], col1 = [3,4,6]
+        let x = Chunk::from_slice::<f64>(3, 2, &[1.0, 2.0, 5.0, 3.0, 4.0, 6.0]);
+        let b = Dense::from_vec(2, 2, vec![1.0, 0.5, 2.0, -1.0]);
+        let out = matmul_chunk(&x, &b, &mut pool);
+        // row0 = [1,3] → [1*1+3*2, 1*0.5+3*-1] = [7, -2.5]
+        assert_eq!(out.get_f64(0, 0), 7.0);
+        assert_eq!(out.get_f64(0, 1), -2.5);
+        // row2 = [5,6] → [17, -3.5]
+        assert_eq!(out.get_f64(2, 0), 17.0);
+        assert_eq!(out.get_f64(2, 1), -3.5);
+    }
+
+    #[test]
+    fn inner_prod_mul_add_equals_matmul() {
+        let mut pool = BufPool::new();
+        let x = Chunk::from_slice::<f64>(4, 3, &(0..12).map(|v| v as f64).collect::<Vec<_>>());
+        let b = Dense::from_fn(3, 2, |r, c| (r * 2 + c) as f64 - 2.0);
+        let blas = matmul_chunk(&x, &b, &mut pool);
+        let gen = inner_prod_chunk(&x, &b, BinaryOp::Mul, BinaryOp::Add, &mut pool);
+        for r in 0..4 {
+            for c in 0..2 {
+                assert!((blas.get_f64(r, c) - gen.get_f64(r, c)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn euclidean_distance_mode() {
+        let mut pool = BufPool::new();
+        // one data point (2, 3); centers (0,0) and (2,4) as columns of b.
+        let x = Chunk::from_slice::<f64>(1, 2, &[2.0, 3.0]);
+        let centers = Dense::from_vec(2, 2, vec![0.0, 2.0, 0.0, 4.0]); // p×k: b[k][j]
+        let d = inner_prod_chunk(&x, &centers, BinaryOp::EuclidSq, BinaryOp::Add, &mut pool);
+        assert_eq!(d.get_f64(0, 0), 13.0); // 4 + 9
+        assert_eq!(d.get_f64(0, 1), 1.0); // 0 + 1
+    }
+
+    #[test]
+    fn integer_inner_prod() {
+        let mut pool = BufPool::new();
+        let x = Chunk::from_slice::<i64>(2, 2, &[1, 2, 3, 4]);
+        let b = Dense::from_vec(2, 1, vec![10.0, 100.0]);
+        let out = inner_prod_chunk(&x, &b, BinaryOp::Mul, BinaryOp::Add, &mut pool);
+        assert_eq!(out.dtype(), DType::I64);
+        // row0 = [1,3] → 1*10 + 3*100 = 310
+        assert_eq!(out.slice::<i64>(), &[310, 420]);
+    }
+
+    #[test]
+    fn min_combiner() {
+        let mut pool = BufPool::new();
+        let x = Chunk::from_slice::<f64>(1, 3, &[5.0, 1.0, 3.0]);
+        let b = Dense::from_vec(3, 1, vec![1.0, 1.0, 1.0]);
+        let out = inner_prod_chunk(&x, &b, BinaryOp::Mul, BinaryOp::Min, &mut pool);
+        assert_eq!(out.get_f64(0, 0), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_associative_combiner_rejected() {
+        let mut pool = BufPool::new();
+        let x = Chunk::from_slice::<f64>(1, 1, &[1.0]);
+        let b = Dense::eye(1);
+        let _ = inner_prod_chunk(&x, &b, BinaryOp::Mul, BinaryOp::Sub, &mut pool);
+    }
+}

@@ -1,0 +1,198 @@
+//! Element-wise unary operations (`sapply` GenOp).
+
+use crate::chunk::{BufPool, Chunk};
+use crate::dtype::DType;
+use crate::element::Element;
+
+/// Predefined unary element functions (the paper predefines all GenOp
+/// input functions; user closures never cross the engine boundary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    Neg,
+    Abs,
+    Sqrt,
+    Exp,
+    Ln,
+    Log2,
+    Log10,
+    Log1p,
+    Floor,
+    Ceil,
+    Round,
+    Sign,
+    Recip,
+    Square,
+    /// `1 / (1 + e^-x)` — predefined because logistic-style models use it
+    /// in every iteration.
+    Sigmoid,
+    /// Logical not: `x == 0`.
+    Not,
+}
+
+impl UnaryOp {
+    /// Whether the mathematical definition requires float input; the FM
+    /// layer casts integer inputs to `f64` first (R promotion).
+    pub fn needs_float(self) -> bool {
+        matches!(
+            self,
+            UnaryOp::Sqrt
+                | UnaryOp::Exp
+                | UnaryOp::Ln
+                | UnaryOp::Log2
+                | UnaryOp::Log10
+                | UnaryOp::Log1p
+                | UnaryOp::Recip
+                | UnaryOp::Sigmoid
+        )
+    }
+
+    /// Output dtype for a given input dtype.
+    pub fn out_dtype(self, input: DType) -> DType {
+        match self {
+            UnaryOp::Not => DType::U8,
+            _ => input,
+        }
+    }
+
+    #[inline(always)]
+    fn eval_f64(self, x: f64) -> f64 {
+        match self {
+            UnaryOp::Neg => -x,
+            UnaryOp::Abs => x.abs(),
+            UnaryOp::Sqrt => x.sqrt(),
+            UnaryOp::Exp => x.exp(),
+            UnaryOp::Ln => x.ln(),
+            UnaryOp::Log2 => x.log2(),
+            UnaryOp::Log10 => x.log10(),
+            UnaryOp::Log1p => x.ln_1p(),
+            UnaryOp::Floor => x.floor(),
+            UnaryOp::Ceil => x.ceil(),
+            UnaryOp::Round => x.round(),
+            UnaryOp::Sign => {
+                if x > 0.0 {
+                    1.0
+                } else if x < 0.0 {
+                    -1.0
+                } else {
+                    0.0
+                }
+            }
+            UnaryOp::Recip => 1.0 / x,
+            UnaryOp::Square => x * x,
+            UnaryOp::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            UnaryOp::Not => unreachable!("Not handled separately"),
+        }
+    }
+}
+
+fn unary_typed<T: Element>(op: UnaryOp, src: &[T], dst: &mut [T]) {
+    match op {
+        // Ops with exact native implementations stay in T.
+        UnaryOp::Neg => {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = s.neg();
+            }
+        }
+        UnaryOp::Abs => {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = s.abs();
+            }
+        }
+        UnaryOp::Square => {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = s.mul(*s);
+            }
+        }
+        // Everything else evaluates through f64 (exact for float chunks,
+        // R-promoted semantics for integer chunks).
+        _ => {
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = T::from_f64(op.eval_f64(s.to_f64()));
+            }
+        }
+    }
+}
+
+/// Apply a unary op over a whole chunk.
+pub fn apply_unary(op: UnaryOp, input: &Chunk, pool: &mut BufPool) -> Chunk {
+    let rows = input.rows();
+    let cols = input.cols();
+    if op == UnaryOp::Not {
+        let mut out = Chunk::alloc(DType::U8, rows, cols, pool);
+        crate::dispatch!(input.dtype(), T, {
+            let src = input.slice::<T>();
+            let dst = out.slice_mut::<u8>();
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d = u8::from(*s == T::zero());
+            }
+        });
+        return out;
+    }
+    let mut out = Chunk::alloc(input.dtype(), rows, cols, pool);
+    crate::dispatch!(input.dtype(), T, {
+        unary_typed::<T>(op, input.slice::<T>(), out.slice_mut::<T>());
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk_f64(vals: &[f64]) -> Chunk {
+        Chunk::from_slice::<f64>(vals.len(), 1, vals)
+    }
+
+    #[test]
+    fn float_ops() {
+        let mut pool = BufPool::new();
+        let c = chunk_f64(&[4.0, 9.0, 0.25]);
+        let s = apply_unary(UnaryOp::Sqrt, &c, &mut pool);
+        assert_eq!(s.slice::<f64>(), &[2.0, 3.0, 0.5]);
+
+        let e = apply_unary(UnaryOp::Exp, &chunk_f64(&[0.0, 1.0]), &mut pool);
+        assert!((e.get_f64(1, 0) - std::f64::consts::E).abs() < 1e-15);
+
+        let sig = apply_unary(UnaryOp::Sigmoid, &chunk_f64(&[0.0]), &mut pool);
+        assert_eq!(sig.get_f64(0, 0), 0.5);
+    }
+
+    #[test]
+    fn neg_abs_square_native_on_ints() {
+        let mut pool = BufPool::new();
+        let c = Chunk::from_slice::<i64>(4, 1, &[-3, 0, 5, -7]);
+        let n = apply_unary(UnaryOp::Neg, &c, &mut pool);
+        assert_eq!(n.slice::<i64>(), &[3, 0, -5, 7]);
+        let a = apply_unary(UnaryOp::Abs, &c, &mut pool);
+        assert_eq!(a.slice::<i64>(), &[3, 0, 5, 7]);
+        let q = apply_unary(UnaryOp::Square, &c, &mut pool);
+        assert_eq!(q.slice::<i64>(), &[9, 0, 25, 49]);
+    }
+
+    #[test]
+    fn sign_and_round_family() {
+        let mut pool = BufPool::new();
+        let c = chunk_f64(&[-2.7, 0.0, 1.2]);
+        assert_eq!(apply_unary(UnaryOp::Sign, &c, &mut pool).slice::<f64>(), &[-1.0, 0.0, 1.0]);
+        assert_eq!(apply_unary(UnaryOp::Floor, &c, &mut pool).slice::<f64>(), &[-3.0, 0.0, 1.0]);
+        assert_eq!(apply_unary(UnaryOp::Ceil, &c, &mut pool).slice::<f64>(), &[-2.0, 0.0, 2.0]);
+        assert_eq!(apply_unary(UnaryOp::Round, &c, &mut pool).slice::<f64>(), &[-3.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn not_outputs_u8() {
+        let mut pool = BufPool::new();
+        let c = Chunk::from_slice::<i32>(3, 1, &[0, 2, -1]);
+        let n = apply_unary(UnaryOp::Not, &c, &mut pool);
+        assert_eq!(n.dtype(), DType::U8);
+        assert_eq!(n.slice::<u8>(), &[1, 0, 0]);
+    }
+
+    #[test]
+    fn out_dtype_rules() {
+        assert_eq!(UnaryOp::Sqrt.out_dtype(DType::F32), DType::F32);
+        assert_eq!(UnaryOp::Not.out_dtype(DType::F64), DType::U8);
+        assert!(UnaryOp::Ln.needs_float());
+        assert!(!UnaryOp::Neg.needs_float());
+    }
+}

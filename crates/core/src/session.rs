@@ -1,0 +1,173 @@
+//! The FlashR execution context: threads, engine mode, partitioning,
+//! simulated NUMA topology and the optional SSD array.
+
+use crate::part::Partitioner;
+use crate::stats::ExecStats;
+use flashr_safs::{Safs, SafsConfig, SafsResult};
+use std::sync::Arc;
+
+/// How DAGs are materialized — exactly the three configurations the
+/// paper's Figure 10 ablates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// "base": every operation materialized separately, one full pass per
+    /// operation (Spark-style).
+    Eager,
+    /// "+mem-fuse": one pass over I/O partitions, whole-partition
+    /// intermediates (fused in memory, not in cache).
+    MemFuse,
+    /// "+cache-fuse" (default): Pcache partitioning with depth-first
+    /// chaining through the CPU cache.
+    CacheFuse,
+}
+
+/// Where materialized matrices are placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageClass {
+    /// NUMA-tagged memory chunks.
+    InMem,
+    /// The SSD array (requires a [`Safs`] runtime on the context).
+    Em,
+}
+
+/// Tunables for a [`FlashCtx`].
+#[derive(Debug, Clone)]
+pub struct CtxConfig {
+    /// Worker threads for materialization.
+    pub nthreads: usize,
+    /// Engine mode (Fig. 10 ablation axis).
+    pub mode: ExecMode,
+    /// Per-matrix Pcache budget in bytes (sized against L2).
+    pub pcache_bytes: usize,
+    /// Rows per I/O partition (power of two).
+    pub rows_per_part: u64,
+    /// Simulated NUMA nodes.
+    pub numa_nodes: usize,
+    /// Default placement of materialized tall matrices.
+    pub storage: StorageClass,
+    /// Placement of `set.cache` byproducts (the paper caches reused
+    /// vectors in memory by default but supports caching on SSDs).
+    pub cache_storage: StorageClass,
+}
+
+impl Default for CtxConfig {
+    fn default() -> Self {
+        CtxConfig {
+            nthreads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            mode: ExecMode::CacheFuse,
+            pcache_bytes: 256 * 1024,
+            rows_per_part: Partitioner::DEFAULT_ROWS,
+            numa_nodes: 2,
+            storage: StorageClass::InMem,
+            cache_storage: StorageClass::InMem,
+        }
+    }
+}
+
+/// A FlashR session. Cheap to clone (shared internals).
+#[derive(Clone)]
+pub struct FlashCtx {
+    inner: Arc<CtxInner>,
+}
+
+struct CtxInner {
+    cfg: CtxConfig,
+    safs: Option<Safs>,
+    stats: ExecStats,
+}
+
+impl FlashCtx {
+    /// An in-memory context with default settings.
+    pub fn in_memory() -> FlashCtx {
+        FlashCtx::with_config(CtxConfig::default(), None)
+    }
+
+    /// A context backed by an SSD array; materialized matrices default to
+    /// external memory.
+    pub fn on_ssds(safs_cfg: SafsConfig) -> SafsResult<FlashCtx> {
+        let safs = Safs::open(safs_cfg)?;
+        let cfg = CtxConfig { storage: StorageClass::Em, ..CtxConfig::default() };
+        Ok(FlashCtx::with_config(cfg, Some(safs)))
+    }
+
+    /// Full control.
+    pub fn with_config(cfg: CtxConfig, safs: Option<Safs>) -> FlashCtx {
+        assert!(cfg.nthreads >= 1, "need at least one worker thread");
+        assert!(cfg.numa_nodes >= 1, "need at least one NUMA node");
+        if cfg.storage == StorageClass::Em || cfg.cache_storage == StorageClass::Em {
+            assert!(safs.is_some(), "EM storage requires a SAFS runtime");
+        }
+        FlashCtx { inner: Arc::new(CtxInner { cfg, safs, stats: ExecStats::default() }) }
+    }
+
+    /// The configuration.
+    pub fn cfg(&self) -> &CtxConfig {
+        &self.inner.cfg
+    }
+
+    /// The partitioner every matrix in this context uses.
+    pub fn parter(&self) -> Partitioner {
+        Partitioner::new(self.inner.cfg.rows_per_part)
+    }
+
+    /// The SSD array, if any.
+    pub fn safs(&self) -> Option<&Safs> {
+        self.inner.safs.as_ref()
+    }
+
+    /// Engine statistics.
+    pub fn stats(&self) -> &ExecStats {
+        &self.inner.stats
+    }
+
+    /// A copy of this context with a different engine mode.
+    pub fn with_mode(&self, mode: ExecMode) -> FlashCtx {
+        let cfg = CtxConfig { mode, ..self.inner.cfg.clone() };
+        FlashCtx::with_config(cfg, self.inner.safs.clone())
+    }
+
+    /// A copy of this context with a different default storage class.
+    pub fn with_storage(&self, storage: StorageClass) -> FlashCtx {
+        let cfg = CtxConfig { storage, ..self.inner.cfg.clone() };
+        FlashCtx::with_config(cfg, self.inner.safs.clone())
+    }
+}
+
+impl std::fmt::Debug for FlashCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlashCtx")
+            .field("cfg", &self.inner.cfg)
+            .field("safs", &self.inner.safs.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let ctx = FlashCtx::in_memory();
+        assert!(ctx.cfg().nthreads >= 1);
+        assert_eq!(ctx.cfg().mode, ExecMode::CacheFuse);
+        assert_eq!(ctx.cfg().storage, StorageClass::InMem);
+        assert!(ctx.safs().is_none());
+    }
+
+    #[test]
+    fn mode_and_storage_overrides() {
+        let ctx = FlashCtx::in_memory();
+        let eager = ctx.with_mode(ExecMode::Eager);
+        assert_eq!(eager.cfg().mode, ExecMode::Eager);
+        // original untouched
+        assert_eq!(ctx.cfg().mode, ExecMode::CacheFuse);
+    }
+
+    #[test]
+    #[should_panic]
+    fn em_storage_without_safs_panics() {
+        let cfg = CtxConfig { storage: StorageClass::Em, ..CtxConfig::default() };
+        let _ = FlashCtx::with_config(cfg, None);
+    }
+}

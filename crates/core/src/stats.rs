@@ -1,0 +1,85 @@
+//! Execution statistics: what the engine actually did.
+//!
+//! The paper's claims are about *data movement* (passes over the data,
+//! bytes through the memory hierarchy, locality of NUMA accesses); these
+//! counters make those quantities observable to tests and benchmarks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic engine counters.
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    /// Materialization passes over the data (a fused DAG counts one; the
+    /// eager engine counts one per operation).
+    pub passes: AtomicU64,
+    /// I/O partitions processed (across all passes and threads).
+    pub parts: AtomicU64,
+    /// Pcache chunks evaluated.
+    pub pcache_chunks: AtomicU64,
+    /// Partitions whose (simulated) NUMA node matched the worker's node.
+    pub local_parts: AtomicU64,
+    /// Partitions processed by a worker on a different node.
+    pub remote_parts: AtomicU64,
+    /// Nanoseconds spent inside materialization.
+    pub exec_nanos: AtomicU64,
+}
+
+/// Point-in-time copy of [`ExecStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecStatsSnapshot {
+    pub passes: u64,
+    pub parts: u64,
+    pub pcache_chunks: u64,
+    pub local_parts: u64,
+    pub remote_parts: u64,
+    pub exec_nanos: u64,
+}
+
+impl ExecStats {
+    /// Copy out the counters.
+    pub fn snapshot(&self) -> ExecStatsSnapshot {
+        ExecStatsSnapshot {
+            passes: self.passes.load(Ordering::Relaxed),
+            parts: self.parts.load(Ordering::Relaxed),
+            pcache_chunks: self.pcache_chunks.load(Ordering::Relaxed),
+            local_parts: self.local_parts.load(Ordering::Relaxed),
+            remote_parts: self.remote_parts.load(Ordering::Relaxed),
+            exec_nanos: self.exec_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn add(&self, field: &AtomicU64, v: u64) {
+        field.fetch_add(v, Ordering::Relaxed);
+    }
+}
+
+impl ExecStatsSnapshot {
+    /// Counter movement between two snapshots.
+    pub fn delta(&self, later: &ExecStatsSnapshot) -> ExecStatsSnapshot {
+        ExecStatsSnapshot {
+            passes: later.passes - self.passes,
+            parts: later.parts - self.parts,
+            pcache_chunks: later.pcache_chunks - self.pcache_chunks,
+            local_parts: later.local_parts - self.local_parts,
+            remote_parts: later.remote_parts - self.remote_parts,
+            exec_nanos: later.exec_nanos - self.exec_nanos,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_delta() {
+        let s = ExecStats::default();
+        s.add(&s.passes, 1);
+        let a = s.snapshot();
+        s.add(&s.passes, 2);
+        s.add(&s.parts, 10);
+        let d = a.delta(&s.snapshot());
+        assert_eq!(d.passes, 2);
+        assert_eq!(d.parts, 10);
+    }
+}

@@ -1,0 +1,93 @@
+//! Block matrices (paper §3.2.2) against the external-memory store, plus
+//! wide-matrix paths that Fig. 4's 2-D partitioning is for.
+
+use flashr_core::block::BlockMat;
+use flashr_core::fm::FM;
+use flashr_core::ops::{BinaryOp, UnaryOp};
+use flashr_core::session::{CtxConfig, FlashCtx, StorageClass};
+use flashr_safs::SafsConfig;
+
+fn em_ctx(tag: &str) -> FlashCtx {
+    let dir = std::env::temp_dir().join(format!("flashr-blockem-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let safs = flashr_safs::Safs::open(SafsConfig::striped_under(dir, 3)).unwrap();
+    FlashCtx::with_config(
+        CtxConfig { rows_per_part: 256, storage: StorageClass::Em, ..Default::default() },
+        Some(safs),
+    )
+}
+
+fn im_ctx() -> FlashCtx {
+    FlashCtx::with_config(CtxConfig { rows_per_part: 256, ..Default::default() }, None)
+}
+
+#[test]
+fn block_matrix_on_ssds_matches_memory() {
+    let em = em_ctx("basic");
+    let im = im_ctx();
+    let n = 2000u64;
+    let p = 70usize; // three 32-col blocks
+
+    let bm_em = BlockMat::runif(&em, n, p, 32, 9).materialize(&em);
+    let bm_im = BlockMat::runif(&im, n, p, 32, 9).materialize(&im);
+
+    let cs_em = bm_em.col_sums(&em);
+    let cs_im = bm_im.col_sums(&im);
+    for (a, b) in cs_em.iter().zip(&cs_im) {
+        assert!((a - b).abs() < 1e-9, "EM and IM block colSums disagree");
+    }
+
+    let g_em = bm_em.crossprod(&em);
+    let g_im = bm_im.crossprod(&im);
+    assert!(g_em.max_abs_diff(&g_im) < 1e-8);
+}
+
+#[test]
+fn block_pipeline_stays_fused_per_block_group() {
+    let ctx = im_ctx();
+    let fmx = FM::rnorm(&ctx, 3000, 64, 0.0, 1.0, 3);
+    let bm = BlockMat::from_fm(&fmx, 32).materialize(&ctx);
+    let before = ctx.stats().snapshot();
+    // All per-block colSums sinks materialize together: one pass.
+    let _ = bm.col_sums(&ctx);
+    assert_eq!(before.delta(&ctx.stats().snapshot()).passes, 1);
+    // The full block-pair Gramian is also a single pass.
+    let before = ctx.stats().snapshot();
+    let _ = bm.crossprod(&ctx);
+    assert_eq!(before.delta(&ctx.stats().snapshot()).passes, 1);
+}
+
+#[test]
+fn block_elementwise_chain_on_em() {
+    let em = em_ctx("chain");
+    let bm = BlockMat::runif(&em, 1500, 40, 32, 4).materialize(&em);
+    let y = bm.unary(UnaryOp::Square).binary_scalar(BinaryOp::Add, 1.0);
+    let total = y.sum(&em);
+    // E[u²] + 1 per element = 4/3.
+    let mean = total / (1500.0 * 40.0);
+    assert!((mean - 4.0 / 3.0).abs() < 0.01, "mean {mean}");
+}
+
+#[test]
+fn wide_matrix_matmul_through_blocks() {
+    let ctx = im_ctx();
+    let p = 80usize;
+    let fmx = FM::rnorm(&ctx, 1000, p, 0.0, 1.0, 5);
+    let bm = BlockMat::from_fm(&fmx, 32);
+    let b = flashr_linalg::Dense::from_fn(p, 3, |r, c| ((r + c) % 7) as f64 - 3.0);
+    let blocked = bm.matmul(&b).to_dense(&ctx);
+    let whole = fmx.matmul(&FM::from_dense(b)).to_dense(&ctx);
+    assert!(blocked.max_abs_diff(&whole) < 1e-9);
+}
+
+#[test]
+fn block_row_sums_on_em_match_whole() {
+    let em = em_ctx("rowsums");
+    let fmx = FM::runif(&em, 1200, 50, -1.0, 1.0, 8).materialize(&em);
+    let bm = BlockMat::from_fm(&fmx, 16);
+    let a = bm.row_sums().to_vec(&em);
+    let b = fmx.row_sums().to_vec(&em);
+    for (x, y) in a.iter().zip(&b) {
+        assert!((x - y).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,198 @@
+//! # flashr-data
+//!
+//! Synthetic dataset generators reproducing the *shapes* of the FlashR
+//! evaluation datasets (paper §4.2, Table 5):
+//!
+//! * **Criteo** (4.3 B × 40, binary click labels) → [`criteo_like`]: a
+//!   logistic-model click dataset with 40 features and labels drawn from
+//!   a known ground-truth weight vector — so classifier accuracy checks
+//!   are meaningful, not just timing.
+//! * **PageGraph-32ev** (3.5 B × 32 singular vectors) → [`pagegraph_like`]:
+//!   a spectral-embedding-like Gaussian mixture with well-separated
+//!   cluster structure — so k-means/GMM iterate the way they do on the
+//!   paper's graph embedding.
+//!
+//! Both generators are lazy (counter-based RNG): the data materializes
+//! partition-by-partition during the first fused pass, in memory or
+//! straight to the SSD array, which is how billion-row inputs stay
+//! feasible.
+
+use flashr_core::fm::FM;
+use flashr_core::ops::BinaryOp;
+use flashr_core::session::FlashCtx;
+use flashr_linalg::Dense;
+
+/// A generated supervised dataset.
+#[derive(Debug, Clone)]
+pub struct Labeled {
+    /// n×p feature matrix.
+    pub x: FM,
+    /// n×1 label column (0/1 for classification).
+    pub y: FM,
+    /// The ground-truth weights that generated the labels (length p),
+    /// when the generating model has one.
+    pub truth: Option<Vec<f64>>,
+}
+
+/// A generated clustering dataset.
+#[derive(Debug, Clone)]
+pub struct Clustered {
+    /// n×p embedding matrix.
+    pub x: FM,
+    /// The true cluster centers (k×p).
+    pub centers: Dense,
+    /// Number of mixture components.
+    pub k: usize,
+}
+
+/// Criteo-like click data: `n×p` standard-normal features and binary
+/// labels `y = 1[sigmoid(x·w) > u]` for a deterministic weight vector
+/// `w`. Same shape family as the paper's click-prediction dataset
+/// (p = 40 there).
+pub fn criteo_like(ctx: &FlashCtx, n: u64, p: usize, seed: u64) -> Labeled {
+    let x = FM::rnorm(ctx, n, p, 0.0, 1.0, seed);
+    // Deterministic, moderately varied ground truth in [-1, 1].
+    let truth: Vec<f64> = (0..p)
+        .map(|j| {
+            let t = (j as f64 * 0.37 + 0.11).sin();
+            if j % 3 == 0 {
+                t
+            } else {
+                t * 0.25
+            }
+        })
+        .collect();
+    let w = Dense::from_vec(p, 1, truth.clone());
+    // P(click) = sigmoid(x·w); threshold against uniform noise.
+    let prob = x.matmul(&FM::from_dense(w)).sigmoid();
+    let noise = FM::runif(ctx, n, 1, 0.0, 1.0, seed ^ 0x9E37_79B9_7F4A_7C15);
+    let y = prob.gt(&noise).cast(flashr_core::DType::F64);
+    Labeled { x, y, truth: Some(truth) }
+}
+
+/// PageGraph-32ev-like spectral embedding: a mixture of `k` Gaussians
+/// with well-separated centers in `p` dimensions (p = 32 in the paper).
+/// Row `r` belongs to component `r % k` (exactly balanced), and the
+/// mixture is expressed as a DAG so it generates on the fly.
+pub fn pagegraph_like(ctx: &FlashCtx, n: u64, p: usize, k: usize, seed: u64) -> Clustered {
+    assert!(k >= 1);
+    // Deterministic well-separated centers.
+    let centers = Dense::from_fn(k, p, |g, j| {
+        let phase = (g * 31 + j * 7) as f64;
+        4.0 * (phase * 0.618_033_988_75).sin() + if j % k == g { 6.0 } else { 0.0 }
+    });
+    let noise = FM::rnorm(ctx, n, p, 0.0, 1.0, seed);
+    let labels = FM::seq(n, 0.0, 1.0).binary_scalar(BinaryOp::Rem, k as f64, false);
+    // x = noise + onehot(labels) %*% centers, expressed per component:
+    // indicator (n×1, broadcasts over columns) × center row (1×p sweep).
+    let mut x = noise;
+    for g in 0..k {
+        let ind = labels
+            .binary_scalar(BinaryOp::Eq, g as f64, false)
+            .cast(flashr_core::DType::F64);
+        let row: Vec<f64> = (0..p).map(|j| centers.at(g, j)).collect();
+        let center_term = ind.matmul(&FM::from_dense(Dense::from_vec(1, p, row)));
+        x = x.binary(BinaryOp::Add, &center_term, false);
+    }
+    Clustered { x, centers, k }
+}
+
+/// The dataset table of the paper (Table 5): name, rows, columns.
+pub fn table5_shapes() -> Vec<(&'static str, u64, usize)> {
+    vec![
+        ("PageGraph-32ev", 3_500_000_000, 32),
+        ("Criteo", 4_300_000_000, 40),
+        ("PageGraph-32ev-sub", 336_000_000, 32),
+        ("Criteo-sub", 325_000_000, 40),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flashr_core::session::CtxConfig;
+
+    fn ctx() -> FlashCtx {
+        FlashCtx::with_config(CtxConfig { rows_per_part: 256, ..Default::default() }, None)
+    }
+
+    #[test]
+    fn criteo_shapes_and_label_range() {
+        let ctx = ctx();
+        let d = criteo_like(&ctx, 2000, 8, 42);
+        assert_eq!(d.x.nrow(), 2000);
+        assert_eq!(d.x.ncol(), 8);
+        assert_eq!(d.y.ncol(), 1);
+        let ys = d.y.to_vec(&ctx);
+        assert!(ys.iter().all(|&v| v == 0.0 || v == 1.0));
+        let pos: f64 = ys.iter().sum();
+        assert!(pos > 100.0 && pos < 1900.0, "degenerate label balance: {pos}");
+    }
+
+    #[test]
+    fn criteo_labels_correlate_with_truth() {
+        let ctx = ctx();
+        let d = criteo_like(&ctx, 4000, 6, 7);
+        let w = Dense::from_vec(6, 1, d.truth.clone().unwrap());
+        let score = d.x.matmul(&FM::from_dense(w)).to_vec(&ctx);
+        let y = d.y.to_vec(&ctx);
+        let (mut sp, mut np, mut sn, mut nn) = (0.0, 0u64, 0.0, 0u64);
+        for (s, yy) in score.iter().zip(&y) {
+            if *yy > 0.5 {
+                sp += s;
+                np += 1;
+            } else {
+                sn += s;
+                nn += 1;
+            }
+        }
+        assert!(sp / np as f64 > sn / nn as f64 + 0.3, "labels not informative");
+    }
+
+    #[test]
+    fn pagegraph_clusters_are_separated() {
+        let ctx = ctx();
+        let d = pagegraph_like(&ctx, 1200, 8, 3, 5);
+        assert_eq!(d.x.nrow(), 1200);
+        let xd = d.x.to_dense(&ctx);
+        // Row r belongs to component r % 3; nearest-center classification
+        // must mostly agree.
+        let mut correct = 0;
+        for r in 0..1200usize {
+            let mut best = usize::MAX;
+            let mut best_d = f64::INFINITY;
+            for g in 0..3 {
+                let mut dist = 0.0;
+                for j in 0..8 {
+                    let diff = xd.at(r, j) - d.centers.at(g, j);
+                    dist += diff * diff;
+                }
+                if dist < best_d {
+                    best_d = dist;
+                    best = g;
+                }
+            }
+            if best == r % 3 {
+                correct += 1;
+            }
+        }
+        assert!(correct > 1000, "clusters not separated ({correct}/1200 correct)");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let ctx = ctx();
+        let a = criteo_like(&ctx, 500, 4, 9).x.to_dense(&ctx);
+        let b = criteo_like(&ctx, 500, 4, 9).x.to_dense(&ctx);
+        assert_eq!(a.max_abs_diff(&b), 0.0);
+        let c = criteo_like(&ctx, 500, 4, 10).x.to_dense(&ctx);
+        assert!(a.max_abs_diff(&c) > 0.1, "different seeds must differ");
+    }
+
+    #[test]
+    fn table5_lists_paper_datasets() {
+        let t = table5_shapes();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[1].2, 40);
+    }
+}

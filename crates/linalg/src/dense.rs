@@ -1,0 +1,226 @@
+//! Small row-major dense `f64` matrices.
+//!
+//! These hold the *sink* results of FlashR DAGs (Gramians, centers,
+//! covariances) and all the p×p work of the MASS-style algorithms. They are
+//! deliberately simple: row-major, owned storage, O(1) indexing.
+
+use std::fmt;
+
+/// A row-major dense matrix of `f64`.
+#[derive(Clone, PartialEq)]
+pub struct Dense {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl fmt::Debug for Dense {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Dense {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(6);
+        for r in 0..show_rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:>10.4} ", self.at(r, c))?;
+            }
+            writeln!(f, "{}", if self.cols > 8 { "..." } else { "" })?;
+        }
+        if self.rows > show_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Dense {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Dense { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Matrix filled with `v`.
+    pub fn filled(rows: usize, cols: usize, v: f64) -> Self {
+        Dense { rows, cols, data: vec![v; rows * cols] }
+    }
+
+    /// Identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Dense::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Build from a generator.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Dense { rows, cols, data }
+    }
+
+    /// Wrap an existing row-major buffer.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        Dense { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline(always)]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element write.
+    #[inline(always)]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The backing row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable backing buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consume into the backing buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Out-of-place transpose.
+    pub fn transpose(&self) -> Dense {
+        let mut t = Dense::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.at(r, c));
+            }
+        }
+        t
+    }
+
+    /// Extract column `c`.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.rows).map(|r| self.at(r, c)).collect()
+    }
+
+    /// Frobenius-norm distance to `other`.
+    pub fn dist(&self, other: &Dense) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Maximum absolute element difference to `other`.
+    pub fn max_abs_diff(&self, other: &Dense) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Elementwise scale in place.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// `self + other`, elementwise.
+    pub fn add(&self, other: &Dense) -> Dense {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
+        Dense { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// `self - other`, elementwise.
+    pub fn sub(&self, other: &Dense) -> Dense {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
+        Dense { rows: self.rows, cols: self.cols, data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Dense::from_fn(3, 4, |r, c| (r * 10 + c) as f64);
+        assert_eq!(m.at(0, 0), 0.0);
+        assert_eq!(m.at(2, 3), 23.0);
+        assert_eq!(m.row(1), &[10.0, 11.0, 12.0, 13.0]);
+        assert_eq!(m.col(2), vec![2.0, 12.0, 22.0]);
+    }
+
+    #[test]
+    fn eye_and_transpose() {
+        let i = Dense::eye(3);
+        assert_eq!(i.transpose(), i);
+        let m = Dense::from_fn(2, 3, |r, c| (r + c) as f64);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        for r in 0..2 {
+            for c in 0..3 {
+                assert_eq!(m.at(r, c), t.at(c, r));
+            }
+        }
+    }
+
+    #[test]
+    fn arithmetic_helpers() {
+        let a = Dense::filled(2, 2, 3.0);
+        let b = Dense::eye(2);
+        let s = a.add(&b);
+        assert_eq!(s.at(0, 0), 4.0);
+        assert_eq!(s.at(0, 1), 3.0);
+        let d = s.sub(&a);
+        assert_eq!(d.max_abs_diff(&b), 0.0);
+        assert!((a.dist(&a)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_vec_length_checked() {
+        let _ = Dense::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+}

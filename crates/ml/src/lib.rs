@@ -1,0 +1,43 @@
+//! # flashr-ml
+//!
+//! The FlashR paper's benchmark algorithms (§4.1, Table 4), written the
+//! way the paper writes them: plain array programs against the
+//! [`FM`](flashr_core::fm::FM) matrix API, relying on the engine for
+//! parallel and out-of-core execution. Per-iteration sink groups are
+//! materialized together (`FM::materialize_multi`) so every iteration is
+//! one fused pass over the data, as the paper's DAGs are.
+//!
+//! | Algorithm | Computation | I/O (paper Table 4) |
+//! |---|---|---|
+//! | [`correlation`] | O(n·p²) | O(n·p) |
+//! | [`pca()`](pca()) | O(n·p²) | O(n·p) |
+//! | [`naive_bayes()`](naive_bayes()) | O(n·p) | O(n·p) |
+//! | [`logistic_regression`] | O(n·p)/iter | O(n·p)/iter |
+//! | [`kmeans()`](kmeans()) | O(n·p·k)/iter | O(n·p)/iter |
+//! | [`gmm()`](gmm()) | O(n·p²·k)/iter | O(n·p + n·k)/iter |
+//! | [`mvrnorm`] | O(n·p²) | O(n·p) |
+//! | [`lda()`](lda()) | O(n·p²) | O(n·p) |
+
+pub mod corr;
+pub mod gmm;
+pub mod kmeans;
+pub mod lda;
+pub mod logreg;
+pub mod metrics;
+pub mod naive_bayes;
+pub mod pca;
+pub mod ridge;
+pub mod sampling;
+pub mod util;
+
+pub use corr::correlation;
+pub use gmm::{gmm, GmmModel, GmmOptions};
+pub use kmeans::{kmeans, KmeansOptions, KmeansResult};
+pub use lda::{lda, LdaModel};
+pub use logreg::{logistic_regression, logistic_regression_gd, LogRegModel, LogRegOptions};
+pub use metrics::{adjusted_rand_index, confusion_matrix, log_loss, r_squared, rmse};
+pub use naive_bayes::{naive_bayes, NaiveBayesModel};
+pub use pca::{pca, PcaResult};
+pub use ridge::{ridge_regression, RidgeModel};
+pub use sampling::mvrnorm;
+pub use util::accuracy;

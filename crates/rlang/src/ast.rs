@@ -1,0 +1,62 @@
+//! Abstract syntax of the R subset.
+
+/// Binary operators (R precedence is encoded in the parser).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Pow,
+    Mod,
+    MatMul,
+    Range, // a:b
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Eq,
+    Ne,
+    And,
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Plus,
+    Not,
+}
+
+/// One argument at a call site, possibly named (`nrow = 1`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arg {
+    pub name: Option<String>,
+    /// `None` encodes an empty index slot, as in `x[, 2]`.
+    pub value: Option<Expr>,
+}
+
+/// Expressions (R is expression-oriented; statements are expressions).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Num(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+    Ident(String),
+    Unary(UnOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `target <- value` (target is an ident or an index expression).
+    Assign(Box<Expr>, Box<Expr>),
+    Call { callee: Box<Expr>, args: Vec<Arg> },
+    Index { object: Box<Expr>, args: Vec<Arg> },
+    Function { params: Vec<(String, Option<Expr>)>, body: Box<Expr> },
+    If { cond: Box<Expr>, then: Box<Expr>, alt: Option<Box<Expr>> },
+    For { var: String, seq: Box<Expr>, body: Box<Expr> },
+    While { cond: Box<Expr>, body: Box<Expr> },
+    Block(Vec<Expr>),
+    Break,
+    Next,
+    Return(Option<Box<Expr>>),
+}

@@ -1,0 +1,80 @@
+//! `flashr-r` — run R scripts (or a tiny REPL) on the FlashR engine.
+//!
+//! ```sh
+//! cargo run --release -p flashr-rlang --bin flashr-r -- script.R
+//! cargo run --release -p flashr-rlang --bin flashr-r -- --ssd /mnt/a script.R
+//! cargo run --release -p flashr-rlang --bin flashr-r            # REPL
+//! ```
+
+use flashr_core::session::FlashCtx;
+use flashr_rlang::{Interp, Value};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--ssd DIR` runs scripts out-of-core against an emulated array
+    // under DIR (matrices created by `materialize` land on the SSDs).
+    let ctx = match args.iter().position(|a| a == "--ssd") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                eprintln!("--ssd requires a directory");
+                std::process::exit(2);
+            }
+            let dir = args.remove(i + 1);
+            args.remove(i);
+            FlashCtx::on_ssds(flashr_safs::SafsConfig::striped_under(dir, 4))
+                .expect("cannot open the SSD array")
+        }
+        None => FlashCtx::in_memory(),
+    };
+    let mut interp = Interp::new(ctx);
+
+    if let Some(path) = args.first() {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match interp.eval_str(&src) {
+            Ok(v) => {
+                if !matches!(v, Value::Null) {
+                    println!("{v:?}");
+                }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    println!("FlashR R interpreter — matrices execute lazily on the FlashR engine.");
+    println!("Type R expressions; 'q()' or Ctrl-D quits.\n");
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        print!("> ");
+        std::io::stdout().flush().ok();
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed == "q()" || trimmed == "quit()" {
+            break;
+        }
+        match interp.eval_str(trimmed) {
+            Ok(Value::Null) => {}
+            Ok(v) => println!("{v:?}"),
+            Err(e) => eprintln!("{e}"),
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Runtime values of the R subset.
+
+use crate::ast::Expr;
+use crate::env::EnvRef;
+use flashr_core::fm::FM;
+use std::fmt;
+use std::rc::Rc;
+
+/// Interpreter and parser errors.
+#[derive(Debug, Clone)]
+pub enum RError {
+    Syntax(String),
+    Eval(String),
+}
+
+impl fmt::Display for RError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RError::Syntax(m) => write!(f, "syntax error: {m}"),
+            RError::Eval(m) => write!(f, "error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RError {}
+
+/// A user-defined function with its captured environment.
+pub struct Closure {
+    pub params: Vec<(String, Option<Expr>)>,
+    pub body: Expr,
+    pub env: EnvRef,
+}
+
+/// A runtime value.
+#[derive(Clone)]
+pub enum Value {
+    Null,
+    Num(f64),
+    Bool(bool),
+    Str(String),
+    /// A small numeric vector (R vectors; kept in memory).
+    Vec(Rc<Vec<f64>>),
+    /// A FlashR matrix: tall/lazy, a pending sink, or a small dense one.
+    Matrix(FM),
+    Closure(Rc<Closure>),
+    /// A builtin by name (see `builtins`).
+    Builtin(&'static str),
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Num(v) => write!(f, "{v}"),
+            Value::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Vec(v) => {
+                write!(f, "c(")?;
+                for (i, x) in v.iter().take(8).enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                if v.len() > 8 {
+                    write!(f, ", …")?;
+                }
+                write!(f, ")")
+            }
+            Value::Matrix(m) => write!(f, "{m:?}"),
+            Value::Closure(c) => write!(f, "function({} params)", c.params.len()),
+            Value::Builtin(n) => write!(f, "<builtin {n}>"),
+        }
+    }
+}
+
+impl Value {
+    /// Scalar extraction for values that don't need the engine (numbers,
+    /// logicals, length-1 vectors).
+    pub fn as_num(&self) -> Result<f64, RError> {
+        match self {
+            Value::Num(v) => Ok(*v),
+            Value::Bool(b) => Ok(f64::from(*b)),
+            Value::Vec(v) if v.len() == 1 => Ok(v[0]),
+            other => Err(RError::Eval(format!("expected a number, got {other:?}"))),
+        }
+    }
+
+    /// The matrix inside, if any.
+    pub fn as_matrix(&self) -> Result<&FM, RError> {
+        match self {
+            Value::Matrix(m) => Ok(m),
+            other => Err(RError::Eval(format!("expected a matrix, got {other:?}"))),
+        }
+    }
+
+    /// The string inside, if any.
+    pub fn as_str(&self) -> Result<&str, RError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(RError::Eval(format!("expected a string, got {other:?}"))),
+        }
+    }
+
+    /// R's `is.null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Control flow out of a block.
+pub enum Flow {
+    Val(Value),
+    Break,
+    Next,
+    Return(Value),
+}
+
+impl Flow {
+    /// Unwrap a plain value, treating `return` as a value escape.
+    pub fn into_value(self) -> Value {
+        match self {
+            Flow::Val(v) | Flow::Return(v) => v,
+            Flow::Break | Flow::Next => Value::Null,
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Asynchronous I/O engine: per-disk request queues drained by dedicated
+//! I/O threads, mirroring SAFS's per-device I/O thread design.
+//!
+//! Compute threads submit partition-granular requests and continue working;
+//! completion is observed through an [`IoTicket`]. This is what lets the
+//! FlashR scheduler overlap reading partition `i+1` with computing on
+//! partition `i` (paper §3.3).
+
+use crate::error::{SafsError, SafsResult};
+use crate::iobuf::IoBuf;
+use crate::stats::IoStats;
+use crate::throttle::Throttle;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::fs::File;
+use std::os::unix::fs::FileExt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// What an I/O thread is asked to do with the byte range.
+pub(crate) enum IoOp {
+    /// Fill `buf` from the file (buf comes pre-sized to the read length).
+    Read { buf: IoBuf },
+    /// Write `buf` to the file.
+    Write { buf: IoBuf },
+}
+
+/// One queued request against a strip file.
+pub(crate) struct IoReq {
+    pub file: Arc<File>,
+    pub offset: u64,
+    pub op: IoOp,
+    pub done: Sender<SafsResult<IoBuf>>,
+    pub context: String,
+}
+
+/// Handle to a pending asynchronous request.
+///
+/// Dropping a ticket without waiting is allowed; the I/O still completes
+/// (writes are not cancelled) and the result is discarded.
+pub struct IoTicket {
+    rx: Receiver<SafsResult<IoBuf>>,
+}
+
+impl IoTicket {
+    pub(crate) fn new(rx: Receiver<SafsResult<IoBuf>>) -> Self {
+        IoTicket { rx }
+    }
+
+    /// Block until the request completes. Returns the buffer: the data for
+    /// reads, the original buffer back for writes (for reuse).
+    pub fn wait(self) -> SafsResult<IoBuf> {
+        self.rx.recv().unwrap_or_else(|_| {
+            Err(SafsError::io("I/O engine shut down", std::io::Error::other("channel closed")))
+        })
+    }
+
+    /// Non-blocking poll; `None` while the request is still in flight.
+    pub fn try_wait(&mut self) -> Option<SafsResult<IoBuf>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Create a completion channel for one request.
+pub(crate) fn completion() -> (Sender<SafsResult<IoBuf>>, IoTicket) {
+    let (tx, rx) = bounded(1);
+    (tx, IoTicket::new(rx))
+}
+
+/// Body of one I/O thread: drain the disk queue until all senders drop.
+pub(crate) fn io_thread_main(
+    rx: Receiver<IoReq>,
+    stats: Arc<IoStats>,
+    throttle: Option<Arc<Throttle>>,
+) {
+    while let Ok(req) = rx.recv() {
+        let started = Instant::now();
+        let result = match req.op {
+            IoOp::Read { mut buf } => match req.file.read_exact_at(buf.as_mut_bytes(), req.offset) {
+                Ok(()) => {
+                    if let Some(t) = &throttle {
+                        t.charge(buf.len() as u64);
+                    }
+                    stats.record_read(buf.len() as u64, started.elapsed().as_nanos() as u64);
+                    Ok(buf)
+                }
+                Err(e) => Err(SafsError::io(req.context, e)),
+            },
+            IoOp::Write { buf } => match req.file.write_all_at(buf.as_bytes(), req.offset) {
+                Ok(()) => {
+                    if let Some(t) = &throttle {
+                        t.charge(buf.len() as u64);
+                    }
+                    stats.record_write(buf.len() as u64, started.elapsed().as_nanos() as u64);
+                    Ok(buf)
+                }
+                Err(e) => Err(SafsError::io(req.context, e)),
+            },
+        };
+        // The submitter may have dropped its ticket; that's fine.
+        let _ = req.done.send(result);
+    }
+}

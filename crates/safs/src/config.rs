@@ -1,0 +1,100 @@
+//! Runtime configuration for the SAFS substrate.
+
+use std::path::{Path, PathBuf};
+
+/// Emulated device-bandwidth limit applied per disk.
+///
+/// The FlashR paper evaluates on a 24-SSD array capable of ~12 GB/s reads.
+/// Reproductions run on arbitrary hosts, so instead of depending on the
+/// physical device we optionally *throttle* completions to a configured
+/// bandwidth. Setting `bytes_per_sec` well below the host's real storage
+/// speed makes the external-memory/in-memory performance ratio a
+/// deterministic function of the workload's computation-to-I/O ratio — the
+/// quantity Figures 9 and 10 of the paper study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThrottleCfg {
+    /// Sustained bandwidth per disk, in bytes per second.
+    pub bytes_per_sec: f64,
+    /// Fixed per-request latency in microseconds (seek/command overhead).
+    pub latency_us: f64,
+}
+
+impl ThrottleCfg {
+    /// A profile resembling one SATA SSD of the paper's local array
+    /// (~500 MB/s per device; 24 devices give the paper's ~12 GB/s).
+    pub fn sata_ssd() -> Self {
+        ThrottleCfg { bytes_per_sec: 500.0 * 1024.0 * 1024.0, latency_us: 60.0 }
+    }
+
+    /// A profile resembling one of the EC2 i3.16xlarge NVMe devices
+    /// (8 devices, ~16 GB/s aggregate).
+    pub fn nvme_ssd() -> Self {
+        ThrottleCfg { bytes_per_sec: 2.0 * 1024.0 * 1024.0 * 1024.0, latency_us: 20.0 }
+    }
+}
+
+/// Configuration for a [`Safs`](crate::Safs) runtime.
+#[derive(Debug, Clone)]
+pub struct SafsConfig {
+    /// One directory per emulated disk. Directories may live on distinct
+    /// physical devices to get true parallel I/O.
+    pub disks: Vec<PathBuf>,
+    /// I/O threads servicing each disk's request queue.
+    pub io_threads_per_disk: usize,
+    /// Number of contiguous partitions a scheduler should dispatch as one
+    /// batch (the "SAFS block size" of paper §3.3).
+    pub dispatch_batch: usize,
+    /// Optional bandwidth emulation.
+    pub throttle: Option<ThrottleCfg>,
+}
+
+impl SafsConfig {
+    /// All disks inside subdirectories of `root` (`disk0`, `disk1`, ...).
+    pub fn striped_under(root: impl AsRef<Path>, ndisks: usize) -> Self {
+        let root = root.as_ref();
+        SafsConfig {
+            disks: (0..ndisks.max(1)).map(|d| root.join(format!("disk{d}"))).collect(),
+            io_threads_per_disk: 2,
+            dispatch_batch: 4,
+            throttle: None,
+        }
+    }
+
+    /// A single-directory instance (no striping) — convenient for tests.
+    pub fn single_dir(dir: impl AsRef<Path>) -> Self {
+        SafsConfig {
+            disks: vec![dir.as_ref().to_path_buf()],
+            io_threads_per_disk: 2,
+            dispatch_batch: 4,
+            throttle: None,
+        }
+    }
+
+    /// Builder-style: set the throttle profile.
+    pub fn with_throttle(mut self, t: ThrottleCfg) -> Self {
+        self.throttle = Some(t);
+        self
+    }
+
+    /// Builder-style: set I/O threads per disk.
+    pub fn with_io_threads(mut self, n: usize) -> Self {
+        self.io_threads_per_disk = n.max(1);
+        self
+    }
+
+    /// Builder-style: set the dispatch batch ("block") size.
+    pub fn with_dispatch_batch(mut self, n: usize) -> Self {
+        self.dispatch_batch = n.max(1);
+        self
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), crate::SafsError> {
+        if self.disks.is_empty() {
+            return Err(crate::SafsError::Config("at least one disk directory required".into()));
+        }
+        if self.io_threads_per_disk == 0 {
+            return Err(crate::SafsError::Config("io_threads_per_disk must be >= 1".into()));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type shared by all SAFS operations.
+
+use std::fmt;
+use std::io;
+
+/// Result alias used across the crate.
+pub type SafsResult<T> = Result<T, SafsError>;
+
+/// Errors surfaced by the SAFS runtime.
+#[derive(Debug)]
+pub enum SafsError {
+    /// An underlying OS-level I/O failure, tagged with context.
+    Io { context: String, source: io::Error },
+    /// A request referenced a partition beyond the end of the file.
+    PartOutOfRange { part: u64, nparts: u64 },
+    /// A write buffer did not match the partition length.
+    BadLength { part: u64, expected: usize, got: usize },
+    /// The file was already deleted.
+    Deleted,
+    /// Configuration problems (no disks, zero partition size, ...).
+    Config(String),
+}
+
+impl fmt::Display for SafsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SafsError::Io { context, source } => write!(f, "I/O error ({context}): {source}"),
+            SafsError::PartOutOfRange { part, nparts } => {
+                write!(f, "partition {part} out of range (file has {nparts})")
+            }
+            SafsError::BadLength { part, expected, got } => {
+                write!(f, "bad buffer length for partition {part}: expected {expected}, got {got}")
+            }
+            SafsError::Deleted => write!(f, "file was deleted"),
+            SafsError::Config(msg) => write!(f, "bad SAFS configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SafsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SafsError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl SafsError {
+    pub(crate) fn io(context: impl Into<String>, source: io::Error) -> Self {
+        SafsError::Io { context: context.into(), source }
+    }
+}

@@ -1,0 +1,164 @@
+//! 8-byte-aligned byte buffers for partition I/O.
+//!
+//! Matrix engines view partition bytes as typed element slices (`f64`,
+//! `i64`, ...). A plain `Vec<u8>` does not guarantee the alignment those
+//! views need, so all SAFS data moves through [`IoBuf`]: a byte buffer
+//! backed by `u64` words, guaranteeing 8-byte alignment end-to-end.
+
+/// A byte buffer with guaranteed 8-byte alignment.
+#[derive(Debug, Clone, Default)]
+pub struct IoBuf {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl IoBuf {
+    /// A zero-filled buffer of `len` bytes.
+    pub fn zeroed(len: usize) -> Self {
+        IoBuf { words: vec![0u64; len.div_ceil(8)], len }
+    }
+
+    /// An empty buffer.
+    pub fn new() -> Self {
+        IoBuf::default()
+    }
+
+    /// Copy `data` into a fresh buffer.
+    pub fn from_bytes(data: &[u8]) -> Self {
+        let mut b = IoBuf::zeroed(data.len());
+        b.as_mut_bytes().copy_from_slice(data);
+        b
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Resize to `len` bytes, reusing the allocation when possible. New
+    /// bytes are *not* guaranteed to be zero.
+    pub fn resize(&mut self, len: usize) {
+        let words = len.div_ceil(8);
+        if words > self.words.len() {
+            self.words.resize(words, 0);
+        }
+        self.len = len;
+    }
+
+    /// Byte view.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        // SAFETY: the words allocation covers at least `len` bytes and u8
+        // has alignment 1.
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr().cast::<u8>(), self.len) }
+    }
+
+    /// Mutable byte view.
+    #[inline]
+    pub fn as_mut_bytes(&mut self) -> &mut [u8] {
+        // SAFETY: as above; `&mut self` guarantees uniqueness.
+        unsafe { std::slice::from_raw_parts_mut(self.words.as_mut_ptr().cast::<u8>(), self.len) }
+    }
+
+    /// View the buffer as a slice of `T`.
+    ///
+    /// `T` must be one of the plain-old-data element types (alignment at
+    /// most 8, no padding, any bit pattern valid); the buffer length must
+    /// be an exact multiple of `size_of::<T>()`.
+    #[inline]
+    pub fn typed<T: Pod>(&self) -> &[T] {
+        let size = std::mem::size_of::<T>();
+        assert!(std::mem::align_of::<T>() <= 8);
+        assert_eq!(self.len % size, 0, "buffer length {} not a multiple of {}", self.len, size);
+        // SAFETY: backing storage is 8-byte aligned, covers len bytes, and
+        // T: Pod means any bit pattern is a valid T.
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr().cast::<T>(), self.len / size) }
+    }
+
+    /// Mutable typed view; see [`IoBuf::typed`].
+    #[inline]
+    pub fn typed_mut<T: Pod>(&mut self) -> &mut [T] {
+        let size = std::mem::size_of::<T>();
+        assert!(std::mem::align_of::<T>() <= 8);
+        assert_eq!(self.len % size, 0, "buffer length {} not a multiple of {}", self.len, size);
+        // SAFETY: as in `typed`, plus uniqueness from `&mut self`.
+        unsafe { std::slice::from_raw_parts_mut(self.words.as_mut_ptr().cast::<T>(), self.len / size) }
+    }
+}
+
+/// Marker for plain-old-data element types safe to view in an [`IoBuf`].
+///
+/// # Safety
+/// Implementors must be `Copy`, contain no padding or invalid bit
+/// patterns, and have alignment at most 8.
+pub unsafe trait Pod: Copy + 'static {}
+
+unsafe impl Pod for u8 {}
+unsafe impl Pod for i8 {}
+unsafe impl Pod for u16 {}
+unsafe impl Pod for i16 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for i32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for i64 {}
+unsafe impl Pod for f32 {}
+unsafe impl Pod for f64 {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_and_len() {
+        let b = IoBuf::zeroed(13);
+        assert_eq!(b.len(), 13);
+        assert!(b.as_bytes().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn typed_views_round_trip() {
+        let mut b = IoBuf::zeroed(32);
+        {
+            let f = b.typed_mut::<f64>();
+            f.copy_from_slice(&[1.5, -2.0, 3.25, 0.0]);
+        }
+        assert_eq!(b.typed::<f64>(), &[1.5, -2.0, 3.25, 0.0]);
+        // Reinterpret as u64 words without tearing.
+        assert_eq!(b.typed::<u64>().len(), 4);
+    }
+
+    #[test]
+    fn alignment_is_eight() {
+        for len in [1usize, 7, 8, 9, 4096] {
+            let b = IoBuf::zeroed(len);
+            assert_eq!(b.as_bytes().as_ptr() as usize % 8, 0, "len={len}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn typed_rejects_ragged_length() {
+        let b = IoBuf::zeroed(10);
+        let _ = b.typed::<f64>();
+    }
+
+    #[test]
+    fn from_bytes_copies() {
+        let b = IoBuf::from_bytes(&[1, 2, 3, 4, 5]);
+        assert_eq!(b.as_bytes(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn resize_preserves_prefix() {
+        let mut b = IoBuf::from_bytes(&[9, 8, 7]);
+        b.resize(2);
+        assert_eq!(b.as_bytes(), &[9, 8]);
+        b.resize(16);
+        assert_eq!(&b.as_bytes()[..2], &[9, 8]);
+    }
+}

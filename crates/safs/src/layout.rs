@@ -1,0 +1,127 @@
+//! Striping math: which disk holds which partition, and where.
+//!
+//! FlashR "uses a hash function to map data to fully utilize the bandwidth
+//! of all SSDs" (§3.2.1). We use a per-file *permuted round-robin*: a
+//! deterministic pseudo-random permutation of the disks, rotated by a
+//! per-file seed. This keeps placement perfectly even (every disk holds
+//! ⌈nparts/ndisks⌉ or ⌊nparts/ndisks⌋ partitions), makes the strip offset
+//! O(1) to compute, and still decorrelates column-subset access patterns
+//! across files the way a hash does.
+
+/// Placement of one partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartLoc {
+    /// Index of the disk holding the partition.
+    pub disk: usize,
+    /// Slot index within that disk's strip file.
+    pub slot: u64,
+}
+
+/// Per-file striping function.
+#[derive(Debug, Clone)]
+pub struct Striping {
+    perm: Vec<usize>,
+    ndisks: usize,
+}
+
+impl Striping {
+    /// Build the striping for a file with the given seed over `ndisks`.
+    pub fn new(ndisks: usize, seed: u64) -> Self {
+        assert!(ndisks >= 1, "need at least one disk");
+        let mut perm: Vec<usize> = (0..ndisks).collect();
+        // Deterministic Fisher–Yates driven by a splitmix64 stream.
+        let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut next = || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        for i in (1..ndisks).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            perm.swap(i, j);
+        }
+        Striping { perm, ndisks }
+    }
+
+    /// Number of disks in the stripe set.
+    pub fn ndisks(&self) -> usize {
+        self.ndisks
+    }
+
+    /// Where partition `part` lives.
+    pub fn locate(&self, part: u64) -> PartLoc {
+        let disk = self.perm[(part % self.ndisks as u64) as usize];
+        PartLoc { disk, slot: part / self.ndisks as u64 }
+    }
+
+    /// How many partitions of a `nparts`-partition file land on `disk`.
+    pub fn parts_on_disk(&self, nparts: u64, disk: usize) -> u64 {
+        let pos = self.perm.iter().position(|&d| d == disk);
+        match pos {
+            Some(pos) => {
+                let pos = pos as u64;
+                let full = nparts / self.ndisks as u64;
+                let rem = nparts % self.ndisks as u64;
+                full + u64::from(pos < rem)
+            }
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn placement_is_even() {
+        for ndisks in [1usize, 2, 3, 8, 24] {
+            let s = Striping::new(ndisks, 42);
+            let nparts = 1000u64;
+            let mut counts: HashMap<usize, u64> = HashMap::new();
+            for p in 0..nparts {
+                *counts.entry(s.locate(p).disk).or_default() += 1;
+            }
+            let min = counts.values().copied().min().unwrap();
+            let max = counts.values().copied().max().unwrap();
+            assert!(max - min <= 1, "uneven placement for {ndisks} disks");
+        }
+    }
+
+    #[test]
+    fn slots_are_dense_per_disk() {
+        let s = Striping::new(5, 7);
+        let nparts = 103u64;
+        let mut per_disk: HashMap<usize, Vec<u64>> = HashMap::new();
+        for p in 0..nparts {
+            let loc = s.locate(p);
+            per_disk.entry(loc.disk).or_default().push(loc.slot);
+        }
+        for (disk, mut slots) in per_disk {
+            slots.sort_unstable();
+            for (i, slot) in slots.iter().enumerate() {
+                assert_eq!(*slot, i as u64, "disk {disk} has a slot gap");
+            }
+            assert_eq!(slots.len() as u64, s.parts_on_disk(nparts, disk));
+        }
+    }
+
+    #[test]
+    fn different_seeds_permute_differently() {
+        let a = Striping::new(8, 1);
+        let b = Striping::new(8, 2);
+        let differs = (0..8u64).any(|p| a.locate(p).disk != b.locate(p).disk);
+        assert!(differs);
+    }
+
+    #[test]
+    fn parts_on_disk_sums_to_total() {
+        let s = Striping::new(7, 99);
+        let nparts = 61u64;
+        let total: u64 = (0..7).map(|d| s.parts_on_disk(nparts, d)).sum();
+        assert_eq!(total, nparts);
+    }
+}

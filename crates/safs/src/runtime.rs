@@ -1,0 +1,203 @@
+//! The SAFS runtime: disk set, I/O thread pools and file factory.
+
+use crate::aio::{io_thread_main, IoReq};
+use crate::config::SafsConfig;
+use crate::error::{SafsError, SafsResult};
+use crate::file::{FileInner, SafsFile};
+use crate::layout::Striping;
+use crate::stats::{IoStats, IoStatsSnapshot};
+use crate::throttle::Throttle;
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use std::fs;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running SAFS instance.
+///
+/// Cheap to clone; all clones (and all [`SafsFile`]s created from them)
+/// share the same disks, I/O threads and statistics. The I/O threads shut
+/// down when the last handle and the last file are dropped.
+#[derive(Clone)]
+pub struct Safs {
+    inner: Arc<RtInner>,
+}
+
+pub(crate) struct RtInner {
+    cfg: SafsConfig,
+    queues: Vec<Sender<IoReq>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    stats: Arc<IoStats>,
+    name_counter: AtomicU64,
+}
+
+impl Drop for RtInner {
+    fn drop(&mut self) {
+        // Close the queues first so the I/O threads observe disconnection,
+        // then join them.
+        self.queues.clear();
+        for handle in self.threads.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl RtInner {
+    pub(crate) fn submit(&self, disk: usize, req: IoReq) {
+        // The queue only disconnects when RtInner is dropped, which cannot
+        // happen while a file (which holds an Arc to us) is submitting.
+        self.queues[disk].send(req).expect("I/O queue closed while runtime alive");
+    }
+
+    pub(crate) fn disk_dir(&self, disk: usize) -> &std::path::Path {
+        &self.cfg.disks[disk]
+    }
+
+    pub(crate) fn ndisks(&self) -> usize {
+        self.cfg.disks.len()
+    }
+
+}
+
+/// Deterministic per-file striping seed derived from the file name.
+fn name_seed(name: &str) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    name.hash(&mut h);
+    h.finish()
+}
+
+impl Safs {
+    /// Start a runtime over the configured disks, creating the disk
+    /// directories if needed and spawning the I/O threads.
+    pub fn open(cfg: SafsConfig) -> SafsResult<Safs> {
+        cfg.validate()?;
+        for dir in &cfg.disks {
+            fs::create_dir_all(dir)
+                .map_err(|e| SafsError::io(format!("creating disk dir {}", dir.display()), e))?;
+        }
+        let stats = Arc::new(IoStats::default());
+        let mut queues = Vec::with_capacity(cfg.disks.len());
+        let mut threads = Vec::new();
+        for disk in 0..cfg.disks.len() {
+            let (tx, rx) = unbounded::<IoReq>();
+            queues.push(tx);
+            let throttle = cfg.throttle.map(|t| Arc::new(Throttle::new(t)));
+            for t in 0..cfg.io_threads_per_disk {
+                let rx = rx.clone();
+                let stats = stats.clone();
+                let throttle = throttle.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("safs-io-d{disk}t{t}"))
+                    .spawn(move || io_thread_main(rx, stats, throttle))
+                    .map_err(|e| SafsError::io("spawning I/O thread", e))?;
+                threads.push(handle);
+            }
+        }
+        Ok(Safs {
+            inner: Arc::new(RtInner {
+                cfg,
+                queues,
+                threads: Mutex::new(threads),
+                stats,
+                name_counter: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// Create a file of `nparts` equally sized partitions.
+    pub fn create(&self, name: &str, part_bytes: u64, nparts: u64) -> SafsResult<SafsFile> {
+        self.create_bytes(name, part_bytes, part_bytes.checked_mul(nparts).expect("file size overflow"))
+    }
+
+    /// Create a file of `total_bytes` split into `part_bytes` partitions
+    /// (the last partition may be short).
+    pub fn create_bytes(&self, name: &str, part_bytes: u64, total_bytes: u64) -> SafsResult<SafsFile> {
+        if part_bytes == 0 {
+            return Err(SafsError::Config("part_bytes must be > 0".into()));
+        }
+        if total_bytes == 0 {
+            return Err(SafsError::Config("total_bytes must be > 0".into()));
+        }
+        let striping = Striping::new(self.inner.ndisks(), name_seed(name));
+        FileInner::create(self.inner.clone(), name, part_bytes, total_bytes, striping)
+    }
+
+    /// Open a previously created file by name.
+    pub fn open_file(&self, name: &str) -> SafsResult<SafsFile> {
+        let striping = Striping::new(self.inner.ndisks(), name_seed(name));
+        FileInner::open(self.inner.clone(), name, striping)
+    }
+
+    /// Whether a file of this name exists on the array.
+    pub fn exists(&self, name: &str) -> bool {
+        self.inner.disk_dir(0).join(format!("{name}.meta")).exists()
+    }
+
+    /// A fresh unique file name with the given prefix (used by the matrix
+    /// engine for anonymous temporaries).
+    pub fn unique_name(&self, prefix: &str) -> String {
+        let n = self.inner.name_counter.fetch_add(1, Ordering::Relaxed);
+        format!("{prefix}-{}-{n}", std::process::id())
+    }
+
+    /// Aggregate I/O statistics since the runtime started.
+    pub fn stats_snapshot(&self) -> IoStatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Scheduler hint: how many contiguous partitions to dispatch per batch.
+    pub fn dispatch_batch(&self) -> usize {
+        self.inner.cfg.dispatch_batch
+    }
+
+    /// Number of disks in the array.
+    pub fn ndisks(&self) -> usize {
+        self.inner.ndisks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_cfg(tag: &str, ndisks: usize) -> SafsConfig {
+        let dir = std::env::temp_dir().join(format!("safs-rt-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        SafsConfig::striped_under(dir, ndisks)
+    }
+
+    #[test]
+    fn open_creates_disk_dirs() {
+        let cfg = tmp_cfg("dirs", 3);
+        let disks = cfg.disks.clone();
+        let _safs = Safs::open(cfg).unwrap();
+        for d in &disks {
+            assert!(d.is_dir());
+        }
+    }
+
+    #[test]
+    fn unique_names_are_unique() {
+        let safs = Safs::open(tmp_cfg("names", 1)).unwrap();
+        let a = safs.unique_name("tmp");
+        let b = safs.unique_name("tmp");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rejects_empty_config() {
+        let cfg = SafsConfig { disks: vec![], io_threads_per_disk: 1, dispatch_batch: 1, throttle: None };
+        assert!(Safs::open(cfg).is_err());
+    }
+
+    #[test]
+    fn shutdown_joins_threads() {
+        let safs = Safs::open(tmp_cfg("shutdown", 2)).unwrap();
+        let f = safs.create("x", 128, 2).unwrap();
+        f.write_part(0, &[1u8; 128]).unwrap();
+        drop(f);
+        drop(safs); // must not hang
+    }
+}

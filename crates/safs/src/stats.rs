@@ -1,0 +1,107 @@
+//! I/O accounting.
+//!
+//! FlashR's evaluation reasons about the ratio of computation to I/O;
+//! these counters are how the benchmarks (and tests) observe how many
+//! bytes a DAG materialization actually moved.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters, updated by the I/O threads.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    read_bytes: AtomicU64,
+    write_bytes: AtomicU64,
+    read_reqs: AtomicU64,
+    write_reqs: AtomicU64,
+    read_nanos: AtomicU64,
+    write_nanos: AtomicU64,
+}
+
+/// A point-in-time copy of [`IoStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoStatsSnapshot {
+    pub read_bytes: u64,
+    pub write_bytes: u64,
+    pub read_reqs: u64,
+    pub write_reqs: u64,
+    pub read_nanos: u64,
+    pub write_nanos: u64,
+}
+
+impl IoStats {
+    pub(crate) fn record_read(&self, bytes: u64, nanos: u64) {
+        self.read_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.read_reqs.fetch_add(1, Ordering::Relaxed);
+        self.read_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_write(&self, bytes: u64, nanos: u64) {
+        self.write_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.write_reqs.fetch_add(1, Ordering::Relaxed);
+        self.write_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Copy out the current counter values.
+    pub fn snapshot(&self) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            read_bytes: self.read_bytes.load(Ordering::Relaxed),
+            write_bytes: self.write_bytes.load(Ordering::Relaxed),
+            read_reqs: self.read_reqs.load(Ordering::Relaxed),
+            write_reqs: self.write_reqs.load(Ordering::Relaxed),
+            read_nanos: self.read_nanos.load(Ordering::Relaxed),
+            write_nanos: self.write_nanos.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl IoStatsSnapshot {
+    /// Counter movement between two snapshots (`later - self`).
+    pub fn delta(&self, later: &IoStatsSnapshot) -> IoStatsSnapshot {
+        IoStatsSnapshot {
+            read_bytes: later.read_bytes - self.read_bytes,
+            write_bytes: later.write_bytes - self.write_bytes,
+            read_reqs: later.read_reqs - self.read_reqs,
+            write_reqs: later.write_reqs - self.write_reqs,
+            read_nanos: later.read_nanos - self.read_nanos,
+            write_nanos: later.write_nanos - self.write_nanos,
+        }
+    }
+
+    /// Total bytes moved in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bytes + self.write_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let s = IoStats::default();
+        s.record_read(100, 5);
+        s.record_read(50, 5);
+        s.record_write(30, 1);
+        let snap = s.snapshot();
+        assert_eq!(snap.read_bytes, 150);
+        assert_eq!(snap.read_reqs, 2);
+        assert_eq!(snap.write_bytes, 30);
+        assert_eq!(snap.write_reqs, 1);
+        assert_eq!(snap.total_bytes(), 180);
+    }
+
+    #[test]
+    fn delta_between_snapshots() {
+        let s = IoStats::default();
+        s.record_read(10, 1);
+        let a = s.snapshot();
+        s.record_read(25, 2);
+        s.record_write(5, 1);
+        let b = s.snapshot();
+        let d = a.delta(&b);
+        assert_eq!(d.read_bytes, 25);
+        assert_eq!(d.write_bytes, 5);
+        assert_eq!(d.read_reqs, 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests: SAFS round-trips arbitrary partition geometries and
+//! payloads across arbitrary disk counts.
+
+use flashr_safs::{IoBuf, Safs, SafsConfig};
+use proptest::prelude::*;
+
+fn fresh(tag: u64, ndisks: usize) -> Safs {
+    let dir = std::env::temp_dir().join(format!("safs-prop-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    Safs::open(SafsConfig::striped_under(dir, ndisks)).unwrap()
+}
+
+/// Deterministic payload for partition `p` of length `len`.
+fn payload(p: u64, len: usize, salt: u8) -> Vec<u8> {
+    (0..len).map(|i| ((i as u64 * 131 + p * 31 + salt as u64) % 251) as u8).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn roundtrip_any_geometry(
+        ndisks in 1usize..6,
+        part_bytes in 1u64..5000,
+        total_mult in 1u64..40,
+        tail in 0u64..5000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let total = (part_bytes * total_mult + tail % part_bytes.max(1)).max(1);
+        let safs = fresh(seed, ndisks);
+        let f = safs.create_bytes("prop", part_bytes, total).unwrap();
+        prop_assert_eq!(f.nparts(), total.div_ceil(part_bytes));
+
+        // Write all partitions (async), read them back (async).
+        let mut writes = Vec::new();
+        for p in 0..f.nparts() {
+            let len = f.part_len(p).unwrap();
+            writes.push(f.write_part_async(p, IoBuf::from_bytes(&payload(p, len, 7))).unwrap());
+        }
+        for w in writes {
+            w.wait().unwrap();
+        }
+        for p in 0..f.nparts() {
+            let len = f.part_len(p).unwrap();
+            let got = f.read_part(p).unwrap();
+            let want = payload(p, len, 7);
+            prop_assert_eq!(got.as_bytes(), want.as_slice(), "partition {}", p);
+        }
+        f.delete().unwrap();
+    }
+
+    #[test]
+    fn rewrites_are_last_writer_wins(parts in 1u64..20, seed in 0u64..u64::MAX) {
+        let safs = fresh(seed ^ 0xABCD, 3);
+        let f = safs.create("rw", 256, parts).unwrap();
+        for p in 0..parts {
+            f.write_part(p, &payload(p, 256, 1)).unwrap();
+        }
+        // Overwrite a strided subset.
+        for p in (0..parts).step_by(2) {
+            f.write_part(p, &payload(p, 256, 2)).unwrap();
+        }
+        for p in 0..parts {
+            let want_salt = if p % 2 == 0 { 2 } else { 1 };
+            let got = f.read_part(p).unwrap();
+            let want = payload(p, 256, want_salt);
+            prop_assert_eq!(got.as_bytes(), want.as_slice());
+        }
+        f.delete().unwrap();
+    }
+
+    #[test]
+    fn reopen_sees_identical_content(parts in 1u64..12, seed in 0u64..u64::MAX) {
+        let safs = fresh(seed ^ 0x1234, 2);
+        {
+            let f = safs.create("persist", 128, parts).unwrap();
+            for p in 0..parts {
+                f.write_part(p, &payload(p, 128, 9)).unwrap();
+            }
+        }
+        let f = safs.open_file("persist").unwrap();
+        prop_assert_eq!(f.nparts(), parts);
+        for p in 0..parts {
+            let got = f.read_part(p).unwrap();
+            let want = payload(p, 128, 9);
+            prop_assert_eq!(got.as_bytes(), want.as_slice());
+        }
+        f.delete().unwrap();
+    }
+}

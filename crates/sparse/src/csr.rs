@@ -1,0 +1,228 @@
+//! Compressed sparse row matrices.
+
+/// A CSR matrix with `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    indptr: Vec<u64>,
+    indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Build from (row, col, value) triplets; duplicate entries sum.
+    pub fn from_triplets(nrows: usize, ncols: usize, triplets: &[(usize, usize, f64)]) -> CsrMatrix {
+        for &(r, c, _) in triplets {
+            assert!(r < nrows && c < ncols, "triplet ({r},{c}) out of bounds");
+        }
+        let mut sorted: Vec<(usize, usize, f64)> = triplets.to_vec();
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+
+        let mut indptr = Vec::with_capacity(nrows + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0u64);
+        let mut row = 0usize;
+        for (r, c, v) in sorted {
+            while row < r {
+                indptr.push(indices.len() as u64);
+                row += 1;
+            }
+            if let (Some(&last_c), Some(last_v)) = (indices.last(), values.last_mut()) {
+                if indptr.len() - 1 == row && last_c == c as u32 && indptr[row] < indices.len() as u64
+                {
+                    // Same row (current), same column → accumulate.
+                    *last_v += v;
+                    continue;
+                }
+            }
+            indices.push(c as u32);
+            values.push(v);
+        }
+        while row < nrows {
+            indptr.push(indices.len() as u64);
+            row += 1;
+        }
+        CsrMatrix { nrows, ncols, indptr, indices, values }
+    }
+
+    /// Construct directly from CSR arrays.
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<u64>,
+        indices: Vec<u32>,
+        values: Vec<f64>,
+    ) -> CsrMatrix {
+        assert_eq!(indptr.len(), nrows + 1);
+        assert_eq!(indices.len(), values.len());
+        assert_eq!(*indptr.last().unwrap() as usize, indices.len());
+        for w in indptr.windows(2) {
+            assert!(w[0] <= w[1], "indptr must be nondecreasing");
+        }
+        for &c in &indices {
+            assert!((c as usize) < ncols, "column index out of range");
+        }
+        CsrMatrix { nrows, ncols, indptr, indices, values }
+    }
+
+    /// Rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Row `r` as (column indices, values).
+    pub fn row(&self, r: usize) -> (&[u32], &[f64]) {
+        let s = self.indptr[r] as usize;
+        let e = self.indptr[r + 1] as usize;
+        (&self.indices[s..e], &self.values[s..e])
+    }
+
+    /// Raw CSR parts (indptr, indices, values).
+    pub fn raw(&self) -> (&[u64], &[u32], &[f64]) {
+        (&self.indptr, &self.indices, &self.values)
+    }
+
+    /// Entries per row.
+    pub fn degrees(&self) -> Vec<usize> {
+        self.indptr.windows(2).map(|w| (w[1] - w[0]) as usize).collect()
+    }
+
+    /// Transpose (CSC→CSR swap via counting sort).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0u64; self.ncols + 1];
+        for &c in &self.indices {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.ncols {
+            counts[i + 1] += counts[i];
+        }
+        let indptr = counts.clone();
+        let mut indices = vec![0u32; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        let mut cursor = counts;
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let dst = cursor[c as usize] as usize;
+                indices[dst] = r as u32;
+                values[dst] = v;
+                cursor[c as usize] += 1;
+            }
+        }
+        CsrMatrix { nrows: self.ncols, ncols: self.nrows, indptr, indices, values }
+    }
+
+    /// A random sparse matrix with roughly `avg_degree` entries per row
+    /// and a skewed (graph-like) degree distribution.
+    pub fn random(nrows: usize, ncols: usize, avg_degree: usize, seed: u64) -> CsrMatrix {
+        let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+        let mut next = move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let mut indptr = Vec::with_capacity(nrows + 1);
+        let mut indices: Vec<u32> = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
+        indptr.push(0u64);
+        for _ in 0..nrows {
+            // Degree in [1, 4·avg) with a mild power-law skew.
+            let u = (next() >> 11) as f64 / (1u64 << 53) as f64;
+            let deg = ((avg_degree as f64) * (0.25 + 3.75 * u * u)).ceil() as usize;
+            let deg = deg.clamp(1, ncols);
+            let mut cols: Vec<u32> = (0..deg).map(|_| (next() % ncols as u64) as u32).collect();
+            cols.sort_unstable();
+            cols.dedup();
+            for c in cols {
+                indices.push(c);
+                values.push(1.0 + (next() % 8) as f64 * 0.25);
+            }
+            indptr.push(indices.len() as u64);
+        }
+        CsrMatrix { nrows, ncols, indptr, indices, values }
+    }
+
+    /// Dense copy (tests only).
+    pub fn to_dense(&self) -> flashr_linalg::Dense {
+        let mut d = flashr_linalg::Dense::zeros(self.nrows, self.ncols);
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            for (&c, &v) in cols.iter().zip(vals) {
+                d.set(r, c as usize, d.at(r, c as usize) + v);
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_build_and_row_access() {
+        let m = CsrMatrix::from_triplets(3, 4, &[(0, 1, 2.0), (2, 3, 5.0), (0, 0, 1.0)]);
+        assert_eq!(m.nnz(), 3);
+        let (cols, vals) = m.row(0);
+        assert_eq!(cols, &[0, 1]);
+        assert_eq!(vals, &[1.0, 2.0]);
+        let (cols, _) = m.row(1);
+        assert!(cols.is_empty());
+    }
+
+    #[test]
+    fn duplicate_triplets_sum() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.5)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.row(0).1, &[3.5]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = CsrMatrix::random(50, 30, 4, 7);
+        let t = m.transpose();
+        assert_eq!(t.nrows(), 30);
+        assert_eq!(t.nnz(), m.nnz());
+        let tt = t.transpose();
+        assert_eq!(m.to_dense().max_abs_diff(&tt.to_dense()), 0.0);
+    }
+
+    #[test]
+    fn random_has_requested_density() {
+        let m = CsrMatrix::random(1000, 1000, 8, 3);
+        let avg = m.nnz() as f64 / 1000.0;
+        assert!(avg > 3.0 && avg < 16.0, "avg degree {avg}");
+        // Rows non-empty.
+        assert!(m.degrees().iter().all(|&d| d >= 1));
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        let ok = CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]);
+        assert_eq!(ok.nnz(), 2);
+        let bad = std::panic::catch_unwind(|| {
+            CsrMatrix::from_raw(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 2.0])
+        });
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn degrees_sum_to_nnz() {
+        let m = CsrMatrix::random(200, 100, 5, 1);
+        assert_eq!(m.degrees().iter().sum::<usize>(), m.nnz());
+    }
+}

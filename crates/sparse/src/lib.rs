@@ -1,0 +1,22 @@
+//! # flashr-sparse
+//!
+//! Sparse-matrix support for FlashR. The paper integrates semi-external
+//! memory sparse matrix multiplication (Zheng et al., TPDS'16) for large
+//! sparse matrices: the sparse matrix streams from the SSD array in row
+//! blocks while the (skinny) dense operand stays in memory.
+//!
+//! * [`CsrMatrix`] — compressed sparse row storage with construction from
+//!   triplets, transpose, and a degree-skewed random generator for
+//!   graph-like workloads.
+//! * [`spmm()`](spmm()) — in-memory parallel `C = A · B` (sparse × tall-skinny
+//!   dense).
+//! * [`sem`] — the semi-external path: a CSR matrix serialized to a SAFS
+//!   file in row-block partitions and multiplied while streaming.
+
+pub mod csr;
+pub mod sem;
+pub mod spmm;
+
+pub use csr::CsrMatrix;
+pub use sem::SemCsr;
+pub use spmm::spmm;

@@ -1,0 +1,70 @@
+//! Property tests: CSR invariants and SpMM correctness (in-memory and
+//! semi-external) against a dense oracle, over random sparse structures.
+
+use flashr_linalg::{matmul, Dense};
+use flashr_safs::{Safs, SafsConfig};
+use flashr_sparse::{spmm, CsrMatrix, SemCsr};
+use proptest::prelude::*;
+
+fn arb_triplets(max_n: usize) -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
+    (1..=max_n, 1..=max_n).prop_flat_map(|(r, c)| {
+        let trip = (0..r, 0..c, -5.0f64..5.0);
+        proptest::collection::vec(trip, 0..60).prop_map(move |t| (r, c, t))
+    })
+}
+
+fn safs(tag: u64) -> Safs {
+    let dir = std::env::temp_dir().join(format!("sparse-prop-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    Safs::open(SafsConfig::striped_under(dir, 2)).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn csr_roundtrips_triplets((r, c, trips) in arb_triplets(40)) {
+        let m = CsrMatrix::from_triplets(r, c, &trips);
+        // Dense oracle built independently.
+        let mut d = Dense::zeros(r, c);
+        for &(i, j, v) in &trips {
+            d.set(i, j, d.at(i, j) + v);
+        }
+        prop_assert!(m.to_dense().max_abs_diff(&d) < 1e-12);
+        // nnz never exceeds the triplet count.
+        prop_assert!(m.nnz() <= trips.len());
+        // indptr is monotone and consistent.
+        prop_assert_eq!(m.degrees().iter().sum::<usize>(), m.nnz());
+    }
+
+    #[test]
+    fn transpose_is_involution((r, c, trips) in arb_triplets(30)) {
+        let m = CsrMatrix::from_triplets(r, c, &trips);
+        let tt = m.transpose().transpose();
+        prop_assert!(m.to_dense().max_abs_diff(&tt.to_dense()) < 1e-12);
+    }
+
+    #[test]
+    fn spmm_matches_dense((r, c, trips) in arb_triplets(30), k in 1usize..5) {
+        let a = CsrMatrix::from_triplets(r, c, &trips);
+        let b = Dense::from_fn(c, k, |i, j| ((i * 3 + j) % 5) as f64 - 2.0);
+        let got = spmm(&a, &b);
+        let want = matmul(&a.to_dense(), &b);
+        prop_assert!(got.max_abs_diff(&want) < 1e-10);
+    }
+
+    #[test]
+    fn sem_roundtrip_and_spmm(
+        (r, c, trips) in arb_triplets(30),
+        rows_per_part in 1usize..20,
+        seed in 0u64..u64::MAX,
+    ) {
+        let a = CsrMatrix::from_triplets(r, c, &trips);
+        let rt = safs(seed);
+        let sem = SemCsr::store(&rt, "p", &a, rows_per_part);
+        prop_assert_eq!(sem.nnz(), a.nnz() as u64);
+        prop_assert!(sem.to_csr().to_dense().max_abs_diff(&a.to_dense()) < 1e-12);
+        let b = Dense::from_fn(c, 2, |i, j| (i + j) as f64 * 0.5 - 1.0);
+        prop_assert!(sem.spmm(&b).max_abs_diff(&spmm(&a, &b)) < 1e-10);
+    }
+}

@@ -1,0 +1,55 @@
+//! Out-of-core PCA with an emulated SSD bandwidth — the paper's core
+//! claim in miniature: with the DAG fused into one pass, the
+//! external-memory run tracks the in-memory run because computation,
+//! not I/O, is the bottleneck.
+//!
+//! ```sh
+//! cargo run --release -p flashr --example out_of_core_pca
+//! ```
+
+use flashr::ml::pca;
+use flashr::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let n = 2_000_000u64;
+    let p = 32usize;
+    let ncomp = 5;
+
+    // In-memory reference.
+    let im = FlashCtx::in_memory();
+    let x_im = FM::rnorm(&im, n, p, 0.0, 1.0, 9).materialize(&im);
+    let t = Instant::now();
+    let r_im = pca(&im, &x_im, ncomp);
+    let im_time = t.elapsed();
+
+    // External memory with a throttled (SATA-SSD-profile) array.
+    let dir = std::env::temp_dir().join("flashr-pca-example");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = SafsConfig::striped_under(&dir, 4).with_throttle(ThrottleCfg::sata_ssd());
+    let em = FlashCtx::on_ssds(cfg).expect("SAFS open");
+    let x_em = FM::rnorm(&em, n, p, 0.0, 1.0, 9).materialize(&em);
+
+    let io_before = em.safs().unwrap().stats_snapshot();
+    let t = Instant::now();
+    let r_em = pca(&em, &x_em, ncomp);
+    let em_time = t.elapsed();
+    let io = io_before.delta(&em.safs().unwrap().stats_snapshot());
+
+    println!("PCA of a {n}×{p} matrix, top {ncomp} components");
+    println!("FlashR-IM: {im_time:?}");
+    println!(
+        "FlashR-EM: {em_time:?}  ({:.1} MiB streamed from an emulated 4×SATA-SSD array)",
+        io.read_bytes as f64 / (1 << 20) as f64
+    );
+    println!("EM/IM slowdown: {:.2}×", em_time.as_secs_f64() / im_time.as_secs_f64());
+
+    println!("\ncomponent standard deviations (IM vs EM — identical DAG, identical data):");
+    for i in 0..ncomp {
+        println!("  σ_{i}: {:.6} vs {:.6}", r_im.sdev[i], r_em.sdev[i]);
+    }
+    let max_diff =
+        r_im.sdev.iter().zip(&r_em.sdev).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+    println!("max |Δσ| = {max_diff:.2e}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,34 @@
+# The paper's Figure 2: "A simplified implementation of logistic
+# regression using gradient descent with line search", with the
+# line-search recomputation repair (see crates/rlang docs).
+
+num.features <- 4
+max.iters <- 10
+X <- rnorm.matrix(50000, num.features, seed = 1)
+truth <- matrix(c(1.5, -1, 0.5, 2), nrow = 1)
+y <- sigmoid(X %*% t(truth)) > runif.matrix(50000, 1, seed = 2)
+
+logistic.regression <- function(X, y) {
+  grad <- function(X, y, w)
+    (t(X) %*% (1/(1+exp(-X%*%t(w)))-y))/length(y)
+  cost <- function(X, y, w)
+    sum(y*(-X%*%t(w))+log(1+exp(X%*%t(w))))/length(y)
+  theta <- matrix(rep(0, num.features), nrow=1)
+  for (i in 1:max.iters) {
+    g <- grad(X, y, theta)
+    l <- cost(X, y, theta)
+    eta <- 1
+    delta <- 0.5 * (-g) %*% t(g)
+    while (as.vector(cost(X, y, theta+eta*(-g))) > as.vector(l)+as.vector(delta)[1]*eta)
+      eta <- eta * 0.2
+    theta <- theta + (-g) * eta
+    cat("iter", i, "logloss", as.vector(cost(X, y, theta)), "\n")
+  }
+  theta
+}
+
+theta <- logistic.regression(X, y)
+cat("learned:", theta[1, 1], theta[1, 2], theta[1, 3], theta[1, 4], "\n")
+cat("truth:   1.5 -1 0.5 2\n")
+stopifnot(theta[1, 1] > 0, theta[1, 2] < 0, theta[1, 4] > theta[1, 3])
+cat("logistic regression on the FlashR engine: OK\n")

@@ -1,0 +1,32 @@
+# The paper's Figure 3: "A simplified implementation of k-means",
+# running unchanged on the FlashR engine (two listing typos repaired:
+# line 4's assignment and the sweep margin — see crates/rlang docs).
+
+kmeans <- function(X, C) {
+  I <- NULL
+  num.moves <- nrow(X)
+  while (num.moves > 0) {
+    D <- inner.prod(X, t(C), "euclidean", "+")
+    old.I <- I
+    I <- agg.row(D, "which.min")
+    # Inform FlashR to save data during computation.
+    I <- set.cache(I, TRUE)
+    CNT <- groupby.row(rep.int(1, nrow(I)), I, "+")
+    C <- sweep(groupby.row(X, I, "+"), 1, CNT, "/")
+    if (!is.null(old.I))
+      num.moves <- as.vector(sum(old.I != I))
+    cat("moves:", num.moves, "\n")
+  }
+  C
+}
+
+# Two planted clusters in 8 dimensions.
+n <- 200000
+shift <- (runif.matrix(n, 1, seed = 1) > 0.5) * 8
+X <- rnorm.matrix(n, 8, seed = 2) + shift
+C0 <- matrix(runif.matrix(16, 1, seed = 3), nrow = 2)
+
+C <- kmeans(X, C0)
+cat("final centers (per-dimension range):", min(C), "to", max(C), "\n")
+stopifnot(abs(min(C)) < 0.3, abs(max(C) - 8) < 0.3)
+cat("k-means on the FlashR engine: OK\n")

@@ -1,0 +1,148 @@
+//! End-to-end algorithm runs on the synthetic evaluation datasets
+//! (paper §4.1 algorithms × §4.2-shaped data), checking statistical
+//! results rather than just shapes.
+
+use flashr::data::{criteo_like, pagegraph_like};
+use flashr::ml::*;
+use flashr::prelude::*;
+
+fn ctx() -> FlashCtx {
+    FlashCtx::with_config(CtxConfig { rows_per_part: 1024, ..Default::default() }, None)
+}
+
+#[test]
+fn correlation_on_criteo_features() {
+    let ctx = ctx();
+    let d = criteo_like(&ctx, 30_000, 8, 1);
+    let c = correlation(&ctx, &d.x);
+    for i in 0..8 {
+        assert!((c.at(i, i) - 1.0).abs() < 1e-9);
+        for j in 0..8 {
+            assert_eq!(c.at(i, j), c.at(j, i));
+            if i != j {
+                assert!(c.at(i, j).abs() < 0.05, "independent features correlate");
+            }
+        }
+    }
+}
+
+#[test]
+fn pca_on_clustered_embedding_concentrates_variance() {
+    let ctx = ctx();
+    let d = pagegraph_like(&ctx, 20_000, 16, 4, 2);
+    let r = pca(&ctx, &d.x, 16);
+    // Cluster structure lives in a few directions: the top components
+    // must dominate the (σ=1) noise floor.
+    assert!(r.sdev[0] > 2.0 * r.sdev[8], "no variance concentration: {:?}", r.sdev);
+    let total: f64 = r.sdev.iter().map(|s| s * s).sum();
+    let top3: f64 = r.sdev[..3].iter().map(|s| s * s).sum();
+    assert!(top3 / total > 0.3);
+}
+
+#[test]
+fn classifiers_beat_chance_on_criteo() {
+    let ctx = ctx();
+    let d = criteo_like(&ctx, 20_000, 10, 3);
+    let y = d.y.materialize(&ctx);
+    let x = d.x.materialize(&ctx);
+
+    let lr = logistic_regression(&ctx, &x, &y, &LogRegOptions { max_iters: 30, ..Default::default() });
+    let lr_acc = accuracy(&ctx, &lr.predict(&x), &y);
+    assert!(lr_acc > 0.70, "logreg accuracy {lr_acc}");
+
+    let nb = naive_bayes(&ctx, &x, &y, 2);
+    let nb_acc = accuracy(&ctx, &nb.predict(&x), &y);
+    assert!(nb_acc > 0.65, "naive bayes accuracy {nb_acc}");
+
+    let ld = lda(&ctx, &x, &y, 2);
+    let ld_acc = accuracy(&ctx, &ld.predict(&x), &y);
+    assert!(ld_acc > 0.70, "lda accuracy {ld_acc}");
+
+    // The generating model is exactly logistic → LR should win or tie.
+    assert!(lr_acc + 0.02 >= nb_acc, "lr {lr_acc} vs nb {nb_acc}");
+}
+
+#[test]
+fn kmeans_recovers_planted_clusters() {
+    let ctx = ctx();
+    let k = 5;
+    let d = pagegraph_like(&ctx, 30_000, 8, k, 7);
+    let x = d.x.materialize(&ctx);
+    let r = kmeans(&ctx, &x, &KmeansOptions { k, max_iters: 40, seed: 2 });
+    assert_eq!(*r.moves.last().unwrap(), 0, "k-means did not converge: {:?}", r.moves);
+    // Every planted center must be close to some found center.
+    for t in 0..k {
+        let best: f64 = (0..k)
+            .map(|g| {
+                (0..8)
+                    .map(|j| (r.centers.at(g, j) - d.centers.at(t, j)).powi(2))
+                    .sum::<f64>()
+                    .sqrt()
+            })
+            .fold(f64::INFINITY, f64::min)
+            / (8.0f64).sqrt();
+        assert!(best < 0.5, "planted center {t} not recovered (err {best})");
+    }
+}
+
+#[test]
+fn gmm_matches_kmeans_structure_on_separated_data() {
+    let ctx = ctx();
+    let k = 3;
+    let d = pagegraph_like(&ctx, 12_000, 6, k, 4);
+    let x = d.x.materialize(&ctx);
+    let model = gmm(&ctx, &x, &GmmOptions { k, max_iters: 60, seed: 5, ..Default::default() });
+    assert!(model.iterations < 60, "gmm did not converge");
+    // Means recover planted centers (up to permutation).
+    for t in 0..k {
+        let best: f64 = (0..k)
+            .map(|g| {
+                (0..6)
+                    .map(|j| (model.means.at(g, j) - d.centers.at(t, j)).powi(2))
+                    .sum::<f64>()
+                    .sqrt()
+            })
+            .fold(f64::INFINITY, f64::min)
+            / (6.0f64).sqrt();
+        assert!(best < 0.5, "component {t} not recovered (err {best})");
+    }
+    // Mixture weights near uniform (labels are balanced round-robin).
+    for w in &model.weights {
+        assert!((w - 1.0 / k as f64).abs() < 0.05, "weights {:?}", model.weights);
+    }
+}
+
+#[test]
+fn mvrnorm_feeds_lda_like_mass_pipelines() {
+    // The MASS chain the paper runs through FlashR: sample two Gaussian
+    // classes with mvrnorm, then classify them with lda.
+    let ctx = ctx();
+    let sigma = Dense::from_vec(2, 2, vec![1.0, 0.3, 0.3, 1.0]);
+    let a = mvrnorm(&ctx, 5000, &[0.0, 0.0], &sigma, 1);
+    let b = mvrnorm(&ctx, 5000, &[3.0, 3.0], &sigma, 2);
+    let x = FM::rbind(&ctx, &a, &b);
+    let y = FM::rbind(&ctx, &FM::zeros(5000, 1), &FM::ones(5000, 1));
+    let model = lda(&ctx, &x, &y, 2);
+    let acc = accuracy(&ctx, &model.predict(&x), &y);
+    // Bayes rate for these classes is Φ(√(ΔᵀΣ⁻¹Δ)/2) ≈ 0.969.
+    assert!(acc > 0.955, "accuracy {acc}");
+    // Pooled covariance ≈ sigma.
+    assert!(model.cov.max_abs_diff(&sigma) < 0.08);
+}
+
+#[test]
+fn baselines_agree_with_flashr_numerically() {
+    use flashr::baselines::{eagerml, rro};
+    let ctx = ctx();
+    let d = criteo_like(&ctx, 5000, 6, 9);
+    let x = d.x.materialize(&ctx);
+
+    // Eager engine: same numbers, more passes.
+    let fused = correlation(&ctx, &x);
+    let eager = eagerml::correlation_eager(&ctx, &x);
+    assert!(fused.max_abs_diff(&eager) < 1e-9);
+
+    // RRO model: same numbers, different execution model.
+    let r = rro::rro_correlation(&x.to_dense(&ctx));
+    assert!(fused.max_abs_diff(&r) < 1e-9);
+}

@@ -43,6 +43,9 @@ fn main() {
         let y = d.y.materialize(&em);
         let pg = pagegraph_like(&em, n_page, 32, 10, 5).x.materialize(&em);
         let params = format!("mode={mode_name}");
+        // Engine counters over the measured window only (input generation
+        // and materialization above are excluded).
+        let before = em.stats().snapshot();
 
         let (_, t) = time(|| correlation(&em, &x));
         report.push("fig10", "correlation", mode_name, &params, t.as_secs_f64());
@@ -66,7 +69,8 @@ fn main() {
         });
         report.push("fig10", "gmm", mode_name, &params, t.as_secs_f64());
 
-        println!("{mode_name} done.");
+        let delta = before.delta(&em.stats().snapshot());
+        println!("{mode_name} done.  [{}]", exec_delta_line(&delta));
     }
 
     // Speedup over base per algorithm (the paper's bar heights).

@@ -3,43 +3,65 @@
 //! that the engine saturates memory bandwidth before running the full
 //! figure harnesses.
 //!
+//! Besides the human-readable table, the probe writes a machine-readable
+//! `BENCH_perf_probe.json` into the current directory: per-stage name,
+//! wall nanoseconds and GiB/s, plus the context's full profile report
+//! (exec counters and per-pass worker/op profiles). The probe records at
+//! least pass-level traces regardless of `FLASHR_TRACE`; setting
+//! `FLASHR_TRACE=op` upgrades the artifact to per-node op timings.
+//!
 //! ```sh
 //! cargo run --release -p flashr-bench --bin perf_probe
+//! python3 -m json.tool BENCH_perf_probe.json
 //! ```
 
 use flashr::prelude::*;
+use flashr_bench::{bench_artifact_json, save_bench_artifact, BenchStage};
 use std::time::Instant;
 
 fn main() {
-    let ctx = FlashCtx::in_memory();
+    // Honour FLASHR_TRACE but never drop below Pass: the artifact's
+    // pass-profile summary is the point of the probe.
+    let level = TraceLevel::from_env().max(TraceLevel::Pass);
+    let ctx = FlashCtx::in_memory().with_trace(level);
     let n = 2_000_000u64;
     let p = 16usize;
     let bytes = (n * p as u64 * 8) as f64;
     let gibps = |d: std::time::Duration| bytes / d.as_secs_f64() / (1u64 << 30) as f64;
 
+    let mut stages: Vec<BenchStage> = Vec::new();
+    let stage = |stages: &mut Vec<BenchStage>, label: &str, name: &str, d: std::time::Duration| {
+        let g = gibps(d);
+        println!("{label:<21}{d:>12.3?}  ({g:.2} GiB/s)");
+        stages.push(BenchStage::new(name, d, g));
+    };
+
     let t = Instant::now();
     let x = FM::rnorm(&ctx, n, p, 0.0, 1.0, 1).materialize(&ctx);
-    let d = t.elapsed();
-    println!("rnorm materialize:   {d:>12.3?}  ({:.2} GiB/s)", gibps(d));
+    stage(&mut stages, "rnorm materialize:", "rnorm_materialize", t.elapsed());
 
     let t = Instant::now();
     let _ = x.sum().value(&ctx);
-    let d = t.elapsed();
-    println!("sum over leaf:       {d:>12.3?}  ({:.2} GiB/s)", gibps(d));
+    stage(&mut stages, "sum over leaf:", "sum_over_leaf", t.elapsed());
 
     let t = Instant::now();
     let _ = x.crossprod().to_dense(&ctx);
-    let d = t.elapsed();
-    println!("crossprod over leaf: {d:>12.3?}  ({:.2} GiB/s)", gibps(d));
+    stage(&mut stages, "crossprod over leaf:", "crossprod_over_leaf", t.elapsed());
 
     let t = Instant::now();
     let _ = ((&(&x + 1.0) * 2.0).abs().sqrt()).sum().value(&ctx);
-    let d = t.elapsed();
-    println!("4-op chain sum:      {d:>12.3?}  ({:.2} GiB/s)", gibps(d));
+    stage(&mut stages, "4-op chain sum:", "four_op_chain_sum", t.elapsed());
 
     let u = FM::runif(&ctx, n, p, 0.0, 1.0, 2);
     let t = Instant::now();
     let _ = u.sum().value(&ctx);
-    let d = t.elapsed();
-    println!("runif gen + sum:     {d:>12.3?}  ({:.2} GiB/s)", gibps(d));
+    stage(&mut stages, "runif gen + sum:", "runif_gen_sum", t.elapsed());
+
+    let report = ctx.profile_report();
+    let path = save_bench_artifact("perf_probe", &bench_artifact_json("perf_probe", &stages, &report));
+    println!(
+        "\n{} passes profiled (trace={level:?}); artifact written to {}",
+        report.passes.len(),
+        path.display()
+    );
 }

@@ -105,6 +105,95 @@ pub fn peak_rss_bytes() -> u64 {
     0
 }
 
+/// One timed stage of a probe binary, recorded into the machine-readable
+/// `BENCH_<name>.json` artifact alongside the engine's profile report.
+#[derive(Debug, Clone)]
+pub struct BenchStage {
+    pub name: String,
+    pub wall_nanos: u64,
+    pub gib_per_s: f64,
+}
+
+impl BenchStage {
+    pub fn new(name: &str, wall: Duration, gib_per_s: f64) -> BenchStage {
+        BenchStage { name: name.to_string(), wall_nanos: wall.as_nanos() as u64, gib_per_s }
+    }
+}
+
+/// Serialize probe stages plus a [`ProfileReport`] into the artifact schema
+/// shared by the probe binaries:
+///
+/// ```json
+/// {"bench": "...", "stages": [{"name", "wall_nanos", "gib_per_s"}, ...],
+///  "profile": {"exec": ..., "io": ..., "passes": [...]}}
+/// ```
+///
+/// Built on the core's hand-rolled JSON (`ProfileReport::to_json`) so the
+/// artifact stays byte-identical whether or not serde is in the build.
+pub fn bench_artifact_json(bench: &str, stages: &[BenchStage], profile: &ProfileReport) -> String {
+    use flashr::core::trace::json_escape;
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"bench\":");
+    json_escape(bench, &mut out);
+    out.push_str(",\"stages\":[");
+    for (i, s) in stages.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        json_escape(&s.name, &mut out);
+        out.push_str(",\"wall_nanos\":");
+        out.push_str(&s.wall_nanos.to_string());
+        out.push_str(",\"gib_per_s\":");
+        // NaN/inf (zero-duration stages) are not valid JSON numbers.
+        if s.gib_per_s.is_finite() {
+            out.push_str(&format!("{:.3}", s.gib_per_s));
+        } else {
+            out.push_str("null");
+        }
+        out.push('}');
+    }
+    out.push_str("],\"profile\":");
+    out.push_str(&profile.to_json());
+    out.push('}');
+    out
+}
+
+/// Write `BENCH_<name>.json` into the current directory (CI smoke-runs
+/// parse these) and return the path.
+pub fn save_bench_artifact(name: &str, json: &str) -> PathBuf {
+    let path = PathBuf::from(format!("BENCH_{name}.json"));
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+    path
+}
+
+/// One-line summary of an [`ExecStatsSnapshot`] delta — the per-mode
+/// counters that make the Fig. 10 base-vs-fused ablation observable.
+pub fn exec_delta_line(d: &ExecStatsSnapshot) -> String {
+    format!(
+        "passes={} parts={} pcache_chunks={} numa_local/remote={}/{}",
+        d.passes, d.parts, d.pcache_chunks, d.local_parts, d.remote_parts
+    )
+}
+
+/// One-line SAFS I/O summary (volume, request counts, latency quantiles,
+/// queue high-water) for an EM context's [`ProfileReport`].
+pub fn io_summary_line(io: &flashr::safs::IoStatsSnapshot) -> String {
+    let gib = |b: u64| b as f64 / (1u64 << 30) as f64;
+    format!(
+        "io: read {:.2} GiB in {} reqs (p50<={}us p99<={}us), write {:.2} GiB in {} reqs, max queue depth {}",
+        gib(io.read_bytes),
+        io.read_reqs,
+        io.read_lat.quantile_upper_ns(0.50) / 1_000,
+        io.read_lat.quantile_upper_ns(0.99) / 1_000,
+        gib(io.write_bytes),
+        io.write_reqs,
+        io.max_queue_depth
+    )
+}
+
 /// One measured cell of a result table.
 #[derive(Debug, Clone, Serialize)]
 pub struct Measurement {
@@ -245,6 +334,26 @@ mod tests {
     #[test]
     fn peak_rss_reads_something() {
         assert!(peak_rss_bytes() > 0, "VmHWM should be readable on Linux");
+    }
+
+    #[test]
+    fn bench_artifact_json_is_wellformed() {
+        let ctx = FlashCtx::in_memory().with_trace(TraceLevel::Pass);
+        let _ = FM::runif(&ctx, 256, 2, 0.0, 1.0, 7).sum().value(&ctx);
+        let stages = vec![
+            BenchStage::new("warm\"up", Duration::from_nanos(1_000), 1.25),
+            BenchStage::new("degenerate", Duration::ZERO, f64::INFINITY),
+        ];
+        let json = bench_artifact_json("probe", &stages, &ctx.profile_report());
+        assert!(json.starts_with("{\"bench\":\"probe\""));
+        assert!(json.contains("\"name\":\"warm\\\"up\""));
+        assert!(json.contains("\"gib_per_s\":null"), "non-finite rate must become null");
+        assert!(json.contains("\"passes\":["));
+        // Deep grammar validation lives in core's trace tests; here check
+        // the nesting is balanced and the document closes cleanly.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.ends_with('}'));
     }
 
     #[test]

@@ -365,6 +365,38 @@ impl Node {
     pub fn is_effective_leaf(&self) -> bool {
         self.cached.get().is_some() || matches!(self.kind, NodeKind::Leaf(_) | NodeKind::Gen(_))
     }
+
+    /// Short operator label in the paper's R-level vocabulary, used by
+    /// `explain()` output and op-level trace profiles.
+    pub fn label(&self) -> String {
+        match &self.kind {
+            NodeKind::Leaf(m) => {
+                if m.is_em() {
+                    "leaf(em)".into()
+                } else {
+                    "leaf".into()
+                }
+            }
+            NodeKind::Gen(_) => "gen".into(),
+            NodeKind::Map { op, .. } => match op {
+                MapOp::Unary(u) => format!("sapply:{u:?}"),
+                MapOp::Binary { op, .. } => format!("mapply:{op:?}"),
+                MapOp::Cast(dt) => format!("cast:{dt:?}"),
+                MapOp::MatMul(_) => "matmul".into(),
+                MapOp::InnerProd { .. } => "inner.prod".into(),
+                MapOp::Select(_) => "select".into(),
+                MapOp::Bind => "cbind".into(),
+                MapOp::GroupCols { op, .. } => format!("groupby.col:{op:?}"),
+            },
+            NodeKind::AggRow { op, .. } => format!("agg.row:{op:?}"),
+            NodeKind::CumRow { op, .. } => format!("cum.row:{op:?}"),
+            NodeKind::CumCol { op, .. } => format!("cum.col:{op:?}"),
+            NodeKind::SinkFull { op, .. } => format!("agg:{op:?}"),
+            NodeKind::SinkCol { op, .. } => format!("agg.col:{op:?}"),
+            NodeKind::SinkGramian { .. } => "crossprod".into(),
+            NodeKind::SinkGroupBy { op, .. } => format!("groupby.row:{op:?}"),
+        }
+    }
 }
 
 #[cfg(test)]

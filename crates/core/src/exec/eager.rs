@@ -65,10 +65,11 @@ pub fn run(ctx: &FlashCtx, targets: &[Target]) -> Vec<TargetResult> {
         }
         // Materialize this single operation; its children are leaves or
         // already in `resolved`, so the "fused" pass contains one op.
-        let result = fused::run(
+        let result = fused::run_labeled(
             ctx,
             &[Target::Tall { node: node.clone(), storage: TargetStorage::Default }],
             &resolved,
+            "eager-step",
         );
         let mat = match result.into_iter().next().expect("one target, one result") {
             TargetResult::Mat(m) => m,
@@ -84,16 +85,18 @@ pub fn run(ctx: &FlashCtx, targets: &[Target]) -> Vec<TargetResult> {
     targets
         .iter()
         .map(|t| match t {
-            Target::Sink(node) => fused::run(ctx, &[Target::Sink(node.clone())], &resolved)
-                .into_iter()
-                .next()
-                .expect("one target, one result"),
+            Target::Sink(node) => {
+                fused::run_labeled(ctx, &[Target::Sink(node.clone())], &resolved, "eager-target")
+                    .into_iter()
+                    .next()
+                    .expect("one target, one result")
+            }
             Target::Tall { node, .. } => {
                 if let Some(m) = resolved.get(&node.id) {
                     TargetResult::Mat(m.clone())
                 } else {
                     // The target itself is a leaf/generator: one pass.
-                    fused::run(ctx, std::slice::from_ref(t), &resolved)
+                    fused::run_labeled(ctx, std::slice::from_ref(t), &resolved, "eager-target")
                         .into_iter()
                         .next()
                         .expect("one target, one result")

@@ -16,9 +16,11 @@ use crate::exec::{SinkAcc, Target, TargetResult};
 use crate::mat::{Layout, PartFetch, TasMat};
 use crate::ops;
 use crate::part::pcache_ranges;
-use crate::session::{FlashCtx, StorageClass};
+use crate::session::{ExecMode, FlashCtx, StorageClass};
+use crate::trace::{OpProfile, PassProfile, TraceLevel, WorkerProfile};
 use flashr_safs::{IoBuf, IoTicket, SafsFile};
 use parking_lot::Mutex;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -30,6 +32,19 @@ struct TallState {
     storage: StorageClass,
     file: Option<SafsFile>,
     parts: Mutex<Vec<Option<Arc<IoBuf>>>>,
+}
+
+/// Per-node accumulated (label, chunks, nanos) for op-level tracing.
+type OpMap = HashMap<u64, (String, u64, u64)>;
+
+/// Trace collection shared by one pass's workers. Only allocated when
+/// the context's tracer is at [`TraceLevel::Pass`] or above; when it is
+/// absent the engine takes no timestamps beyond the pass wall clock.
+#[derive(Default)]
+struct PassAgg {
+    workers: Mutex<Vec<WorkerProfile>>,
+    ops: Mutex<OpMap>,
+    trace_ops: bool,
 }
 
 /// Everything the worker threads share.
@@ -44,14 +59,32 @@ struct Shared<'a> {
     nnodes: usize,
     batch: u64,
     merged: Mutex<Vec<Option<SinkAcc>>>,
+    trace: Option<&'a PassAgg>,
 }
 
 /// Run one fused pass and return one result per target.
 pub fn run(ctx: &FlashCtx, targets: &[Target], resolved: &HashMap<u64, TasMat>) -> Vec<TargetResult> {
+    run_labeled(ctx, targets, resolved, "fused")
+}
+
+/// Like [`run`], with an engine label for the pass profile (the eager
+/// engine drives the same machinery one operation at a time and labels
+/// its sub-passes accordingly).
+pub(crate) fn run_labeled(
+    ctx: &FlashCtx,
+    targets: &[Target],
+    resolved: &HashMap<u64, TasMat>,
+    engine: &'static str,
+) -> Vec<TargetResult> {
     let started = Instant::now();
     let plan = Plan::build(ctx, targets, resolved);
     let stats = ctx.stats();
-    stats.add(&stats.passes, 1);
+    let pass_id = stats.passes.fetch_add(1, Ordering::Relaxed) + 1;
+    let tracer = ctx.tracer();
+    let agg = tracer.enabled(TraceLevel::Pass).then(|| PassAgg {
+        trace_ops: tracer.enabled(TraceLevel::Op),
+        ..PassAgg::default()
+    });
 
     // Prepare tall outputs.
     let tall_states: Vec<TallState> = plan
@@ -109,6 +142,7 @@ pub fn run(ctx: &FlashCtx, targets: &[Target], resolved: &HashMap<u64, TasMat>) 
         nnodes,
         batch,
         merged: Mutex::new((0..plan.sinks.len()).map(|_| None).collect()),
+        trace: agg.as_ref(),
     };
 
     std::thread::scope(|scope| {
@@ -163,6 +197,36 @@ pub fn run(ctx: &FlashCtx, targets: &[Target], resolved: &HashMap<u64, TasMat>) 
     }
 
     stats.add(&stats.exec_nanos, started.elapsed().as_nanos() as u64);
+
+    if let Some(agg) = agg {
+        let mut workers = agg.workers.into_inner();
+        workers.sort_by_key(|w| w.tid);
+        let mut ops: Vec<OpProfile> = agg
+            .ops
+            .into_inner()
+            .into_iter()
+            .map(|(node_id, (label, chunks, nanos))| OpProfile { node_id, label, chunks, nanos })
+            .collect();
+        ops.sort_by_key(|o| o.node_id);
+        tracer.record_pass(PassProfile {
+            pass_id,
+            engine,
+            mode: match ctx.cfg().mode {
+                ExecMode::Eager => "Eager",
+                ExecMode::MemFuse => "MemFuse",
+                ExecMode::CacheFuse => "CacheFuse",
+            },
+            nodes: plan.nnodes,
+            nparts: plan.nparts,
+            pcache_step: plan.pcache_step,
+            sinks: plan.sinks.len(),
+            talls: plan.talls.len(),
+            wall_nanos: started.elapsed().as_nanos() as u64,
+            workers,
+            ops,
+        });
+    }
+
     results.into_iter().map(|r| r.expect("target produced no result")).collect()
 }
 
@@ -196,6 +260,9 @@ fn worker(tid: usize, shared: &Shared<'_>) {
         shared.plan.sinks.iter().map(|(_, n)| SinkAcc::new_for(n)).collect();
     let mut pending_writes: Vec<IoTicket> = Vec::new();
     let stats = shared.ctx.stats();
+    // Tracing is cheap-when-disabled: `wp` is None unless the tracer is
+    // at `pass` level, and every `Instant::now()` hides behind it.
+    let mut wp = shared.trace.map(|_| WorkerProfile { tid, ..WorkerProfile::default() });
 
     loop {
         let (parts, local) = claim(shared, my_node);
@@ -206,6 +273,14 @@ fn worker(tid: usize, shared: &Shared<'_>) {
             stats.add(&stats.local_parts, parts.len() as u64);
         } else {
             stats.add(&stats.remote_parts, parts.len() as u64);
+        }
+        if let Some(wp) = wp.as_mut() {
+            wp.parts += parts.len() as u64;
+            if local {
+                wp.local_parts += parts.len() as u64;
+            } else {
+                wp.remote_parts += parts.len() as u64;
+            }
         }
 
         // Prefetch EM leaves for the whole batch (async, overlaps compute).
@@ -223,6 +298,7 @@ fn worker(tid: usize, shared: &Shared<'_>) {
             .collect();
 
         for (idx, &part) in parts.iter().enumerate() {
+            let io_t0 = wp.as_ref().map(|_| Instant::now());
             // Bound the in-flight writes.
             if pending_writes.len() > 8 {
                 for t in pending_writes.drain(..) {
@@ -237,13 +313,26 @@ fn worker(tid: usize, shared: &Shared<'_>) {
                 };
                 leaf_bufs.insert(*nid, buf);
             }
-            process_part(shared, part, &leaf_bufs, &mut pool, &mut sink_accs, &mut pending_writes);
+            if let (Some(wp), Some(t0)) = (wp.as_mut(), io_t0) {
+                wp.io_wait_nanos += t0.elapsed().as_nanos() as u64;
+            }
+            let compute_t0 = wp.as_ref().map(|_| Instant::now());
+            let chunks =
+                process_part(shared, part, &leaf_bufs, &mut pool, &mut sink_accs, &mut pending_writes);
+            if let (Some(wp), Some(t0)) = (wp.as_mut(), compute_t0) {
+                wp.compute_nanos += t0.elapsed().as_nanos() as u64;
+                wp.pcache_chunks += chunks;
+            }
             stats.add(&stats.parts, 1);
         }
     }
 
+    let io_t0 = wp.as_ref().map(|_| Instant::now());
     for t in pending_writes {
         t.wait().expect("EM output write failed");
+    }
+    if let (Some(wp), Some(t0)) = (wp.as_mut(), io_t0) {
+        wp.io_wait_nanos += t0.elapsed().as_nanos() as u64;
     }
 
     // Deposit thread-local sink partials.
@@ -253,6 +342,11 @@ fn worker(tid: usize, shared: &Shared<'_>) {
             slot @ None => *slot = Some(acc),
             Some(existing) => existing.merge(acc),
         }
+    }
+    drop(merged);
+
+    if let (Some(agg), Some(wp)) = (shared.trace, wp) {
+        agg.workers.lock().push(wp);
     }
 }
 
@@ -264,10 +358,14 @@ struct PartEnv<'a> {
     part: u64,
     part_rows: usize,
     grow0: u64,
+    /// Per-node (label, chunks, nanos) accumulation; `Some` only at
+    /// `FLASHR_TRACE=op`.
+    op_trace: Option<&'a RefCell<OpMap>>,
 }
 
 type Memo = HashMap<(u64, usize, usize), Rc<Chunk>>;
 
+/// Returns the number of Pcache chunk ranges evaluated.
 fn process_part(
     shared: &Shared<'_>,
     part: u64,
@@ -275,12 +373,25 @@ fn process_part(
     pool: &mut BufPool,
     sink_accs: &mut [SinkAcc],
     pending_writes: &mut Vec<IoTicket>,
-) {
+) -> u64 {
     let plan = shared.plan;
     let part_rows = plan.parter.part_rows(part, plan.nrows);
     let grow0 = part * plan.parter.rows_per_part();
-    let env = PartEnv { plan, cums: shared.cums, leaf_bufs, part, part_rows, grow0 };
+    let op_cell = shared
+        .trace
+        .filter(|agg| agg.trace_ops)
+        .map(|_| RefCell::new(OpMap::new()));
+    let env = PartEnv {
+        plan,
+        cums: shared.cums,
+        leaf_bufs,
+        part,
+        part_rows,
+        grow0,
+        op_trace: op_cell.as_ref(),
+    };
     let stats = shared.ctx.stats();
+    let mut nchunks = 0u64;
 
     // Output partition buffers for tall targets (column-major).
     let mut tall_bufs: Vec<IoBuf> = plan
@@ -293,6 +404,7 @@ fn process_part(
     let step = plan.pcache_step;
     for (r0, r1) in pcache_ranges(part_rows, step) {
         stats.add(&stats.pcache_chunks, 1);
+        nchunks += 1;
         // Per-range consumer counters (paper §3.5.1): once every consumer
         // of a node's chunk has run, the buffer recycles immediately so
         // the next operation writes into cache-hot memory.
@@ -369,6 +481,18 @@ fn process_part(
             }
         }
     }
+
+    // Merge this partition's op timings into the pass aggregate.
+    if let (Some(agg), Some(cell)) = (shared.trace, op_cell) {
+        let mut ops = agg.ops.lock();
+        for (id, (label, chunks, nanos)) in cell.into_inner() {
+            let e = ops.entry(id).or_insert_with(|| (label, 0, 0));
+            e.1 += chunks;
+            e.2 += nanos;
+        }
+    }
+
+    nchunks
 }
 
 /// Copy a chunk into a column-major partition buffer at row offset `r0`.
@@ -410,6 +534,10 @@ fn consume(
 }
 
 /// Depth-first, memoized evaluation of one node over a Pcache row range.
+///
+/// When op tracing is on, the time to produce each fresh (non-memoized)
+/// chunk accrues to its node — *inclusive* of any inputs computed on the
+/// way (see [`crate::trace::OpProfile`]).
 fn eval(
     env: &PartEnv<'_>,
     memo: &mut Memo,
@@ -423,7 +551,28 @@ fn eval(
     if let Some(c) = memo.get(&key) {
         return c.clone();
     }
+    let t0 = env.op_trace.map(|_| Instant::now());
+    let chunk = eval_uncached(env, memo, remaining, pool, node, r0, r1);
+    if let (Some(cell), Some(t0)) = (env.op_trace, t0) {
+        let mut ops = cell.borrow_mut();
+        let e = ops.entry(node.id).or_insert_with(|| (node.label(), 0, 0));
+        e.1 += 1;
+        e.2 += t0.elapsed().as_nanos() as u64;
+    }
+    chunk
+}
 
+/// [`eval`] minus memo hit and tracing: compute the chunk.
+fn eval_uncached(
+    env: &PartEnv<'_>,
+    memo: &mut Memo,
+    remaining: &mut HashMap<u64, usize>,
+    pool: &mut BufPool,
+    node: &Arc<Node>,
+    r0: usize,
+    r1: usize,
+) -> Rc<Chunk> {
+    let key = (node.id, r0, r1);
     // Materialized data (leaf / cached / eager-resolved)?
     if let Some(mat) = env.plan.leaf_mat(node) {
         let buf = env

@@ -41,6 +41,8 @@ pub struct Plan {
     /// (paper §3.5.1: the per-partition use counter driving buffer
     /// recycling). Counts DAG parents plus target/sink reads.
     pub consumers: HashMap<u64, usize>,
+    /// Distinct DAG nodes the pass covers (including leaves).
+    pub nnodes: usize,
 }
 
 impl Plan {
@@ -194,7 +196,138 @@ impl Plan {
             cum_nodes,
             resolved: resolved.clone(),
             consumers,
+            nnodes: visited.len(),
         }
+    }
+
+    /// Every node the pass covers, in deterministic DFS order from the
+    /// targets, without descending past materialized data.
+    pub fn collect_nodes(&self) -> Vec<Arc<Node>> {
+        let mut order = Vec::new();
+        let mut seen: HashMap<u64, ()> = HashMap::new();
+        let mut stack: Vec<Arc<Node>> = Vec::new();
+        for (_, s) in self.sinks.iter().rev() {
+            stack.push(s.clone());
+        }
+        for t in self.talls.iter().rev() {
+            stack.push(t.node.clone());
+        }
+        while let Some(node) = stack.pop() {
+            if seen.contains_key(&node.id) {
+                continue;
+            }
+            seen.insert(node.id, ());
+            let materialized = self.leaf_mat(&node).is_some();
+            if !materialized {
+                for child in node.children().into_iter().rev() {
+                    stack.push(child.clone());
+                }
+            }
+            order.push(node);
+        }
+        order
+    }
+
+    /// `id: label [shape dtype]`, with a marker for materialized data.
+    fn describe(&self, node: &Node) -> String {
+        let mat = if self.leaf_mat(node).is_some() && !matches!(node.kind, NodeKind::Leaf(_)) {
+            " (materialized)"
+        } else {
+            ""
+        };
+        format!("n{}: {} [{}x{} {:?}]{}", node.id, node.label(), node.nrows, node.ncols, node.dtype, mat)
+    }
+
+    /// Render the plan as an indented text tree — what R's `explain()`
+    /// would print for the pending DAG.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "plan: {} nodes, {} parts x {} rows, pcache step {} rows, {} sink(s), {} tall output(s)\n",
+            self.nnodes,
+            self.nparts,
+            self.parter.rows_per_part(),
+            self.pcache_step,
+            self.sinks.len(),
+            self.talls.len(),
+        ));
+        fn walk(plan: &Plan, node: &Arc<Node>, depth: usize, out: &mut String) {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&plan.describe(node));
+            out.push('\n');
+            if plan.leaf_mat(node).is_none() {
+                for child in node.children() {
+                    walk(plan, child, depth + 1, out);
+                }
+            }
+        }
+        for (slot, s) in &self.sinks {
+            out.push_str(&format!("sink (slot {slot}):\n"));
+            walk(self, s, 1, &mut out);
+        }
+        for t in &self.talls {
+            match t.slot {
+                Some(slot) => out.push_str(&format!("tall (slot {slot}):\n")),
+                None => out.push_str("tall (set.cache byproduct):\n"),
+            }
+            walk(self, &t.node, 1, &mut out);
+        }
+        out
+    }
+
+    /// Render the plan as Graphviz DOT. Nodes carry shape/dtype labels;
+    /// everything evaluated inside the single fused pass sits in one
+    /// cluster, materialized inputs outside it.
+    pub fn explain_dot(&self) -> String {
+        let nodes = self.collect_nodes();
+        let mut out = String::new();
+        out.push_str("digraph flashr_plan {\n");
+        out.push_str("  rankdir=BT;\n");
+        out.push_str("  node [shape=box, fontsize=10];\n");
+        out.push_str("  subgraph cluster_fused {\n");
+        out.push_str(&format!(
+            "    label=\"fused pass ({} parts, pcache step {})\";\n",
+            self.nparts, self.pcache_step
+        ));
+        for node in &nodes {
+            if self.leaf_mat(node).is_some() {
+                continue;
+            }
+            let shape = if node.is_sink() { ", shape=ellipse" } else { "" };
+            out.push_str(&format!(
+                "    n{} [label=\"{}\\n{}x{} {:?}\"{}];\n",
+                node.id,
+                node.label(),
+                node.nrows,
+                node.ncols,
+                node.dtype,
+                shape
+            ));
+        }
+        out.push_str("  }\n");
+        for node in &nodes {
+            if self.leaf_mat(node).is_none() {
+                continue;
+            }
+            out.push_str(&format!(
+                "  n{} [label=\"{}\\n{}x{} {:?}\", style=filled, fillcolor=lightgrey];\n",
+                node.id,
+                node.label(),
+                node.nrows,
+                node.ncols,
+                node.dtype
+            ));
+        }
+        for node in &nodes {
+            if self.leaf_mat(node).is_some() {
+                continue;
+            }
+            for child in node.children() {
+                out.push_str(&format!("  n{} -> n{};\n", child.id, node.id));
+            }
+        }
+        out.push_str("}\n");
+        out
     }
 }
 

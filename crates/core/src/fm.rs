@@ -735,6 +735,42 @@ impl FM {
         out
     }
 
+    /// The plan the engine would run to materialize this matrix, without
+    /// running it. `None` for already-materialized data (small dense
+    /// results, leaves, cached nodes) — there is nothing to plan.
+    fn pending_plan(&self, ctx: &FlashCtx) -> Option<exec::Plan> {
+        let target = match self {
+            FM::Small(_) => return None,
+            FM::Sink { node } => Target::Sink(node.clone()),
+            FM::Tall { node, .. } => {
+                if matches!(node.kind, NodeKind::Leaf(_)) || node.cached().is_some() {
+                    return None;
+                }
+                Target::Tall { node: node.clone(), storage: TargetStorage::Default }
+            }
+        };
+        Some(exec::Plan::build(ctx, &[target], &HashMap::new()))
+    }
+
+    /// Render the pending DAG as an indented text tree (R's `explain()`):
+    /// the fused pass the engine would run, with per-node shapes, dtypes
+    /// and materialization markers.
+    pub fn explain(&self, ctx: &FlashCtx) -> String {
+        match self.pending_plan(ctx) {
+            Some(plan) => plan.explain(),
+            None => "already materialized (no pending DAG)\n".to_string(),
+        }
+    }
+
+    /// Render the pending DAG as Graphviz DOT, with the fused pass as a
+    /// cluster and materialized inputs outside it.
+    pub fn explain_dot(&self, ctx: &FlashCtx) -> String {
+        match self.pending_plan(ctx) {
+            Some(plan) => plan.explain_dot(),
+            None => "digraph flashr_plan {\n}\n".to_string(),
+        }
+    }
+
     /// The backing [`TasMat`] if this tall matrix is already materialized
     /// (leaf or cached), without forcing computation.
     pub fn leaf_mat_opt(&self) -> Option<TasMat> {

@@ -43,7 +43,9 @@ pub mod ops;
 pub mod part;
 pub mod session;
 pub mod stats;
+pub mod trace;
 
 pub use dtype::{DType, Scalar};
 pub use fm::FM;
 pub use session::{CtxConfig, ExecMode, FlashCtx, StorageClass};
+pub use trace::{PassProfile, ProfileReport, TraceLevel};

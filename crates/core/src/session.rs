@@ -3,6 +3,7 @@
 
 use crate::part::Partitioner;
 use crate::stats::ExecStats;
+use crate::trace::{ProfileReport, TraceLevel, Tracer};
 use flashr_safs::{Safs, SafsConfig, SafsResult};
 use std::sync::Arc;
 
@@ -48,6 +49,9 @@ pub struct CtxConfig {
     /// Placement of `set.cache` byproducts (the paper caches reused
     /// vectors in memory by default but supports caching on SSDs).
     pub cache_storage: StorageClass,
+    /// Tracing level (defaults to the `FLASHR_TRACE` environment
+    /// variable; off when unset).
+    pub trace: TraceLevel,
 }
 
 impl Default for CtxConfig {
@@ -60,6 +64,7 @@ impl Default for CtxConfig {
             numa_nodes: 2,
             storage: StorageClass::InMem,
             cache_storage: StorageClass::InMem,
+            trace: TraceLevel::from_env(),
         }
     }
 }
@@ -74,6 +79,7 @@ struct CtxInner {
     cfg: CtxConfig,
     safs: Option<Safs>,
     stats: ExecStats,
+    tracer: Tracer,
 }
 
 impl FlashCtx {
@@ -97,7 +103,8 @@ impl FlashCtx {
         if cfg.storage == StorageClass::Em || cfg.cache_storage == StorageClass::Em {
             assert!(safs.is_some(), "EM storage requires a SAFS runtime");
         }
-        FlashCtx { inner: Arc::new(CtxInner { cfg, safs, stats: ExecStats::default() }) }
+        let tracer = Tracer::new(cfg.trace);
+        FlashCtx { inner: Arc::new(CtxInner { cfg, safs, stats: ExecStats::default(), tracer }) }
     }
 
     /// The configuration.
@@ -120,6 +127,23 @@ impl FlashCtx {
         &self.inner.stats
     }
 
+    /// The trace collector (shared by all clones of this context).
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
+    }
+
+    /// Everything this context observed — engine counters, SAFS I/O
+    /// counters and latency histograms (if on SSDs), and the recorded
+    /// pass profiles — ready for [`ProfileReport::to_json`].
+    pub fn profile_report(&self) -> ProfileReport {
+        ProfileReport {
+            exec: self.inner.stats.snapshot(),
+            io: self.inner.safs.as_ref().map(|s| s.stats_snapshot()),
+            passes: self.inner.tracer.passes(),
+            dropped_passes: self.inner.tracer.dropped_passes(),
+        }
+    }
+
     /// A copy of this context with a different engine mode.
     pub fn with_mode(&self, mode: ExecMode) -> FlashCtx {
         let cfg = CtxConfig { mode, ..self.inner.cfg.clone() };
@@ -129,6 +153,13 @@ impl FlashCtx {
     /// A copy of this context with a different default storage class.
     pub fn with_storage(&self, storage: StorageClass) -> FlashCtx {
         let cfg = CtxConfig { storage, ..self.inner.cfg.clone() };
+        FlashCtx::with_config(cfg, self.inner.safs.clone())
+    }
+
+    /// A copy of this context with a different trace level (fresh
+    /// tracer; the original's recordings are untouched).
+    pub fn with_trace(&self, trace: TraceLevel) -> FlashCtx {
+        let cfg = CtxConfig { trace, ..self.inner.cfg.clone() };
         FlashCtx::with_config(cfg, self.inner.safs.clone())
     }
 }

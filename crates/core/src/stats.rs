@@ -54,15 +54,20 @@ impl ExecStats {
 }
 
 impl ExecStatsSnapshot {
-    /// Counter movement between two snapshots.
+    /// Counter movement between two snapshots (`later - self`).
+    ///
+    /// Ordering contract: `self` must be the *earlier* snapshot. The
+    /// counters are monotonic, so in-order arguments yield exact deltas;
+    /// accidentally swapped arguments saturate to 0 instead of panicking
+    /// on underflow.
     pub fn delta(&self, later: &ExecStatsSnapshot) -> ExecStatsSnapshot {
         ExecStatsSnapshot {
-            passes: later.passes - self.passes,
-            parts: later.parts - self.parts,
-            pcache_chunks: later.pcache_chunks - self.pcache_chunks,
-            local_parts: later.local_parts - self.local_parts,
-            remote_parts: later.remote_parts - self.remote_parts,
-            exec_nanos: later.exec_nanos - self.exec_nanos,
+            passes: later.passes.saturating_sub(self.passes),
+            parts: later.parts.saturating_sub(self.parts),
+            pcache_chunks: later.pcache_chunks.saturating_sub(self.pcache_chunks),
+            local_parts: later.local_parts.saturating_sub(self.local_parts),
+            remote_parts: later.remote_parts.saturating_sub(self.remote_parts),
+            exec_nanos: later.exec_nanos.saturating_sub(self.exec_nanos),
         }
     }
 }
@@ -81,5 +86,17 @@ mod tests {
         let d = a.delta(&s.snapshot());
         assert_eq!(d.passes, 2);
         assert_eq!(d.parts, 10);
+    }
+
+    #[test]
+    fn swapped_delta_saturates_instead_of_panicking() {
+        let s = ExecStats::default();
+        s.add(&s.passes, 1);
+        let a = s.snapshot();
+        s.add(&s.passes, 1);
+        let b = s.snapshot();
+        // Wrong order: later.delta(&earlier) must not underflow.
+        let d = b.delta(&a);
+        assert_eq!(d.passes, 0);
     }
 }

@@ -98,5 +98,6 @@ pub(crate) fn io_thread_main(
         };
         // The submitter may have dropped its ticket; that's fine.
         let _ = req.done.send(result);
+        stats.queue_exit();
     }
 }

@@ -51,4 +51,4 @@ pub use file::SafsFile;
 pub use iobuf::{IoBuf, Pod};
 pub use layout::Striping;
 pub use runtime::Safs;
-pub use stats::{IoStats, IoStatsSnapshot};
+pub use stats::{IoStats, IoStatsSnapshot, LatencyHisto, LatencyHistoSnapshot, LAT_BUCKETS};

@@ -46,6 +46,7 @@ impl Drop for RtInner {
 
 impl RtInner {
     pub(crate) fn submit(&self, disk: usize, req: IoReq) {
+        self.stats.queue_enter();
         // The queue only disconnects when RtInner is dropped, which cannot
         // happen while a file (which holds an Arc to us) is submitting.
         self.queues[disk].send(req).expect("I/O queue closed while runtime alive");

@@ -2,11 +2,114 @@
 //!
 //! FlashR's evaluation reasons about the ratio of computation to I/O;
 //! these counters are how the benchmarks (and tests) observe how many
-//! bytes a DAG materialization actually moved.
+//! bytes a DAG materialization actually moved — and, since the tracing
+//! layer landed, what the *shape* of the latency distribution is and how
+//! deep the per-disk queues run.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Monotonic counters, updated by the I/O threads.
+/// Number of log2 latency buckets. Bucket `i` counts requests whose
+/// latency in nanoseconds falls in `[2^i, 2^(i+1))` (bucket 0 also
+/// absorbs 0 ns); the last bucket absorbs everything slower than
+/// ~`2^39` ns (≈ 9 minutes).
+pub const LAT_BUCKETS: usize = 40;
+
+/// Lock-free log2-bucketed latency histogram.
+///
+/// Recording is a single relaxed `fetch_add` on the bucket selected by a
+/// leading-zeros computation — cheap enough to stay always-on in the I/O
+/// threads.
+#[derive(Debug)]
+pub struct LatencyHisto {
+    buckets: [AtomicU64; LAT_BUCKETS],
+}
+
+impl Default for LatencyHisto {
+    fn default() -> Self {
+        LatencyHisto { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+impl LatencyHisto {
+    /// Bucket index for a latency in nanoseconds.
+    pub fn bucket_of(nanos: u64) -> usize {
+        if nanos == 0 {
+            return 0;
+        }
+        ((63 - nanos.leading_zeros()) as usize).min(LAT_BUCKETS - 1)
+    }
+
+    /// Inclusive-exclusive nanosecond bounds of bucket `i`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        let lo = if i == 0 { 0 } else { 1u64 << i };
+        let hi = if i >= LAT_BUCKETS - 1 { u64::MAX } else { 1u64 << (i + 1) };
+        (lo, hi)
+    }
+
+    /// Record one request's latency.
+    pub fn record(&self, nanos: u64) {
+        self.buckets[Self::bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy out the bucket counts.
+    pub fn snapshot(&self) -> LatencyHistoSnapshot {
+        let mut buckets = [0u64; LAT_BUCKETS];
+        for (b, a) in buckets.iter_mut().zip(&self.buckets) {
+            *b = a.load(Ordering::Relaxed);
+        }
+        LatencyHistoSnapshot { buckets }
+    }
+}
+
+/// Point-in-time copy of a [`LatencyHisto`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyHistoSnapshot {
+    pub buckets: [u64; LAT_BUCKETS],
+}
+
+impl Default for LatencyHistoSnapshot {
+    fn default() -> Self {
+        LatencyHistoSnapshot { buckets: [0; LAT_BUCKETS] }
+    }
+}
+
+impl LatencyHistoSnapshot {
+    /// Total requests recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Upper bound (ns) of the bucket containing quantile `q` in `[0, 1]`.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile_upper_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return LatencyHisto::bucket_bounds(i).1;
+            }
+        }
+        LatencyHisto::bucket_bounds(LAT_BUCKETS - 1).1
+    }
+
+    /// Bucket movement between two snapshots (`later - self`, saturating;
+    /// see [`IoStatsSnapshot::delta`] for the ordering contract).
+    pub fn delta(&self, later: &LatencyHistoSnapshot) -> LatencyHistoSnapshot {
+        let mut buckets = [0u64; LAT_BUCKETS];
+        for (i, b) in buckets.iter_mut().enumerate() {
+            *b = later.buckets[i].saturating_sub(self.buckets[i]);
+        }
+        LatencyHistoSnapshot { buckets }
+    }
+}
+
+/// Monotonic counters, updated by the I/O threads, plus queue-depth
+/// gauges updated at submit/complete time.
 #[derive(Debug, Default)]
 pub struct IoStats {
     read_bytes: AtomicU64,
@@ -15,6 +118,12 @@ pub struct IoStats {
     write_reqs: AtomicU64,
     read_nanos: AtomicU64,
     write_nanos: AtomicU64,
+    read_lat: LatencyHisto,
+    write_lat: LatencyHisto,
+    /// Requests submitted but not yet completed (gauge).
+    queue_depth: AtomicU64,
+    /// High-water mark of `queue_depth` since the runtime started.
+    max_queue_depth: AtomicU64,
 }
 
 /// A point-in-time copy of [`IoStats`].
@@ -26,6 +135,12 @@ pub struct IoStatsSnapshot {
     pub write_reqs: u64,
     pub read_nanos: u64,
     pub write_nanos: u64,
+    pub read_lat: LatencyHistoSnapshot,
+    pub write_lat: LatencyHistoSnapshot,
+    /// In-flight requests at snapshot time (gauge, not delta-able).
+    pub cur_queue_depth: u64,
+    /// Deepest the queues have run since the runtime started (gauge).
+    pub max_queue_depth: u64,
 }
 
 impl IoStats {
@@ -33,12 +148,25 @@ impl IoStats {
         self.read_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.read_reqs.fetch_add(1, Ordering::Relaxed);
         self.read_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.read_lat.record(nanos);
     }
 
     pub(crate) fn record_write(&self, bytes: u64, nanos: u64) {
         self.write_bytes.fetch_add(bytes, Ordering::Relaxed);
         self.write_reqs.fetch_add(1, Ordering::Relaxed);
         self.write_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.write_lat.record(nanos);
+    }
+
+    /// A request entered an I/O queue.
+    pub(crate) fn queue_enter(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// A request left an I/O queue (completed or failed).
+    pub(crate) fn queue_exit(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Copy out the current counter values.
@@ -50,20 +178,34 @@ impl IoStats {
             write_reqs: self.write_reqs.load(Ordering::Relaxed),
             read_nanos: self.read_nanos.load(Ordering::Relaxed),
             write_nanos: self.write_nanos.load(Ordering::Relaxed),
+            read_lat: self.read_lat.snapshot(),
+            write_lat: self.write_lat.snapshot(),
+            cur_queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
         }
     }
 }
 
 impl IoStatsSnapshot {
     /// Counter movement between two snapshots (`later - self`).
+    ///
+    /// Ordering contract: `self` must be the *earlier* snapshot. Counters
+    /// are monotonic, so passing them in order yields exact deltas; if the
+    /// arguments are accidentally swapped the subtraction saturates to 0
+    /// instead of panicking. The queue-depth gauges are not deltas: the
+    /// result carries `later`'s values unchanged.
     pub fn delta(&self, later: &IoStatsSnapshot) -> IoStatsSnapshot {
         IoStatsSnapshot {
-            read_bytes: later.read_bytes - self.read_bytes,
-            write_bytes: later.write_bytes - self.write_bytes,
-            read_reqs: later.read_reqs - self.read_reqs,
-            write_reqs: later.write_reqs - self.write_reqs,
-            read_nanos: later.read_nanos - self.read_nanos,
-            write_nanos: later.write_nanos - self.write_nanos,
+            read_bytes: later.read_bytes.saturating_sub(self.read_bytes),
+            write_bytes: later.write_bytes.saturating_sub(self.write_bytes),
+            read_reqs: later.read_reqs.saturating_sub(self.read_reqs),
+            write_reqs: later.write_reqs.saturating_sub(self.write_reqs),
+            read_nanos: later.read_nanos.saturating_sub(self.read_nanos),
+            write_nanos: later.write_nanos.saturating_sub(self.write_nanos),
+            read_lat: self.read_lat.delta(&later.read_lat),
+            write_lat: self.write_lat.delta(&later.write_lat),
+            cur_queue_depth: later.cur_queue_depth,
+            max_queue_depth: later.max_queue_depth,
         }
     }
 
@@ -89,6 +231,8 @@ mod tests {
         assert_eq!(snap.write_bytes, 30);
         assert_eq!(snap.write_reqs, 1);
         assert_eq!(snap.total_bytes(), 180);
+        assert_eq!(snap.read_lat.count(), 2);
+        assert_eq!(snap.write_lat.count(), 1);
     }
 
     #[test]
@@ -103,5 +247,69 @@ mod tests {
         assert_eq!(d.read_bytes, 25);
         assert_eq!(d.write_bytes, 5);
         assert_eq!(d.read_reqs, 1);
+        assert_eq!(d.read_lat.count(), 1);
+    }
+
+    #[test]
+    fn swapped_delta_saturates_instead_of_panicking() {
+        let s = IoStats::default();
+        s.record_read(10, 1);
+        let a = s.snapshot();
+        s.record_read(10, 1);
+        let b = s.snapshot();
+        // Wrong order: later.delta(&earlier) must not underflow.
+        let d = b.delta(&a);
+        assert_eq!(d.read_bytes, 0);
+        assert_eq!(d.read_reqs, 0);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        assert_eq!(LatencyHisto::bucket_of(0), 0);
+        assert_eq!(LatencyHisto::bucket_of(1), 0);
+        assert_eq!(LatencyHisto::bucket_of(2), 1);
+        assert_eq!(LatencyHisto::bucket_of(3), 1);
+        assert_eq!(LatencyHisto::bucket_of(4), 2);
+        assert_eq!(LatencyHisto::bucket_of(1023), 9);
+        assert_eq!(LatencyHisto::bucket_of(1024), 10);
+        assert_eq!(LatencyHisto::bucket_of(u64::MAX), LAT_BUCKETS - 1);
+        // bounds are [2^i, 2^(i+1)) with bucket 0 starting at 0
+        assert_eq!(LatencyHisto::bucket_bounds(0), (0, 2));
+        assert_eq!(LatencyHisto::bucket_bounds(10), (1024, 2048));
+        assert_eq!(LatencyHisto::bucket_bounds(LAT_BUCKETS - 1).1, u64::MAX);
+        // every recordable value lands inside its bucket's bounds
+        for nanos in [0u64, 1, 2, 7, 1 << 20, u64::MAX] {
+            let b = LatencyHisto::bucket_of(nanos);
+            let (lo, hi) = LatencyHisto::bucket_bounds(b);
+            assert!(nanos >= lo && nanos < hi || b == LAT_BUCKETS - 1, "{nanos} in [{lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let h = LatencyHisto::default();
+        for _ in 0..99 {
+            h.record(100); // bucket 6: [64, 128)
+        }
+        h.record(1 << 20); // one slow outlier
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.quantile_upper_ns(0.5), 128);
+        assert_eq!(s.quantile_upper_ns(0.95), 128);
+        assert_eq!(s.quantile_upper_ns(1.0), 1 << 21);
+        assert_eq!(LatencyHistoSnapshot::default().quantile_upper_ns(0.5), 0);
+    }
+
+    #[test]
+    fn queue_depth_gauges() {
+        let s = IoStats::default();
+        s.queue_enter();
+        s.queue_enter();
+        assert_eq!(s.snapshot().cur_queue_depth, 2);
+        assert_eq!(s.snapshot().max_queue_depth, 2);
+        s.queue_exit();
+        let snap = s.snapshot();
+        assert_eq!(snap.cur_queue_depth, 1);
+        assert_eq!(snap.max_queue_depth, 2, "high-water mark persists");
     }
 }

@@ -16,7 +16,7 @@
 //! ```
 
 use flashr::prelude::*;
-use flashr_bench::{bench_artifact_json, save_bench_artifact, BenchStage};
+use flashr_bench::{bench_artifact_json_sections, save_bench_artifact, BenchStage};
 use std::time::Instant;
 
 fn main() {
@@ -52,13 +52,33 @@ fn main() {
     let _ = ((&(&x + 1.0) * 2.0).abs().sqrt()).sum().value(&ctx);
     stage(&mut stages, "4-op chain sum:", "four_op_chain_sum", t.elapsed());
 
+    // Static-analyzer probe: a plan with a duplicated subexpression, run
+    // through `FM::check` without executing. The report records node
+    // counts before/after the CSE rewrite plus the footprint estimate.
+    let shifted = &x + 1.0;
+    let dup_plan = (&shifted.sqrt() + &shifted.sqrt()).sum();
+    let analysis = dup_plan.check(&ctx).expect("probe plan must verify");
+    println!(
+        "analyzer:            {} nodes -> {} after CSE ({} merged, {} collapsed), \
+         est. read {} MiB/pass",
+        analysis.nodes_before,
+        analysis.nodes_after,
+        analysis.merged,
+        analysis.collapsed,
+        analysis.footprint.read_bytes >> 20
+    );
+
     let u = FM::runif(&ctx, n, p, 0.0, 1.0, 2);
     let t = Instant::now();
     let _ = u.sum().value(&ctx);
     stage(&mut stages, "runif gen + sum:", "runif_gen_sum", t.elapsed());
 
     let report = ctx.profile_report();
-    let path = save_bench_artifact("perf_probe", &bench_artifact_json("perf_probe", &stages, &report));
+    let sections = [("analysis", analysis.to_json())];
+    let path = save_bench_artifact(
+        "perf_probe",
+        &bench_artifact_json_sections("perf_probe", &stages, &report, &sections),
+    );
     println!(
         "\n{} passes profiled (trace={level:?}); artifact written to {}",
         report.passes.len(),

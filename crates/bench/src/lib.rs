@@ -131,6 +131,18 @@ impl BenchStage {
 /// Built on the core's hand-rolled JSON (`ProfileReport::to_json`) so the
 /// artifact stays byte-identical whether or not serde is in the build.
 pub fn bench_artifact_json(bench: &str, stages: &[BenchStage], profile: &ProfileReport) -> String {
+    bench_artifact_json_sections(bench, stages, profile, &[])
+}
+
+/// [`bench_artifact_json`] with extra top-level sections, each a
+/// `(key, already-serialized JSON value)` pair — e.g. the static
+/// analyzer's [`AnalysisReport::to_json`] under `"analysis"`.
+pub fn bench_artifact_json_sections(
+    bench: &str,
+    stages: &[BenchStage],
+    profile: &ProfileReport,
+    sections: &[(&str, String)],
+) -> String {
     use flashr::core::trace::json_escape;
     let mut out = String::with_capacity(4096);
     out.push_str("{\"bench\":");
@@ -155,6 +167,12 @@ pub fn bench_artifact_json(bench: &str, stages: &[BenchStage], profile: &Profile
     }
     out.push_str("],\"profile\":");
     out.push_str(&profile.to_json());
+    for (key, value) in sections {
+        out.push_str(",\"");
+        out.push_str(key);
+        out.push_str("\":");
+        out.push_str(value);
+    }
     out.push('}');
     out
 }

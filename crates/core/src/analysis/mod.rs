@@ -1,0 +1,252 @@
+//! Static analysis over the pending DAG, run before materialization.
+//!
+//! FlashR evaluates lazily precisely so the whole operation DAG is
+//! visible before any data moves (paper §3.4–3.5). This module exploits
+//! that window with a three-layer analyzer:
+//!
+//! 1. **verification** ([`infer`]) — full shape/dtype inference over
+//!    every [`crate::dag::NodeKind`]; an inconsistent plan yields a
+//!    typed [`PlanError`] naming the offending node *before any
+//!    partition is read*, instead of a mid-pass panic;
+//! 2. **optimization** ([`cse`]) — hash-consing common-subexpression
+//!    elimination (structurally identical subtrees share one node, so
+//!    `colMeans(X)` used twice reads `X` once), dead-node pruning, and
+//!    redundant-cast / `cbind`-of-one collapsing, as a rewrite producing
+//!    an equivalent DAG;
+//! 3. **lints** ([`lint`]) — diagnostics for fusion-unfriendly patterns
+//!    (reused-but-uncached subtrees, oversized broadcast row vectors,
+//!    chained dtype conversions) plus a per-plan memory/I-O footprint
+//!    estimate.
+//!
+//! [`analyze`] runs all three; [`crate::exec::materialize`] calls it on
+//! every plan (the rewrite is gated by
+//! [`crate::session::CtxConfig::optimize`] for A/B ablation), and
+//! [`crate::fm::FM::check`] exposes it without executing anything.
+
+pub mod cse;
+pub mod infer;
+pub mod lint;
+
+use crate::dag::Node;
+use crate::exec::Target;
+use crate::session::FlashCtx;
+use crate::trace::json_escape;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// What went wrong with a plan, structurally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanErrorKind {
+    /// A node's recorded shape disagrees with the shape inferred from
+    /// its inputs (mismatched `mapply` dims, bad `inner.prod` inner
+    /// dimension, ...).
+    ShapeMismatch,
+    /// A node's recorded dtype disagrees with the op's output-dtype rule
+    /// applied to its inputs.
+    DTypeMismatch,
+    /// Tall matrices in one DAG do not share the partition dimension.
+    PartitionMismatch,
+    /// An operand violates an op-specific constraint (column index out
+    /// of range, non-associative `inner.prod` combiner, ...).
+    BadOperand,
+    /// An operation was applied to a sink that must be materialized
+    /// first (the `FM::Sink` misuse family).
+    NotMaterialized,
+}
+
+impl std::fmt::Display for PlanErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PlanErrorKind::ShapeMismatch => "shape-mismatch",
+            PlanErrorKind::DTypeMismatch => "dtype-mismatch",
+            PlanErrorKind::PartitionMismatch => "partition-mismatch",
+            PlanErrorKind::BadOperand => "bad-operand",
+            PlanErrorKind::NotMaterialized => "not-materialized",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A typed pre-flight diagnostic: the offending node, its operator
+/// label, and what the inference pass expected.
+#[derive(Debug, Clone)]
+pub struct PlanError {
+    /// Id of the offending [`Node`].
+    pub node: u64,
+    /// The node's operator label (`Node::label` vocabulary).
+    pub op: String,
+    pub kind: PlanErrorKind,
+    /// Human-readable detail including the inferred dims/dtypes.
+    pub detail: String,
+}
+
+impl PlanError {
+    pub fn new(node: &Node, kind: PlanErrorKind, detail: String) -> PlanError {
+        PlanError { node: node.id, op: node.label(), kind, detail }
+    }
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "plan error [{}] at n{} ({}): {}", self.kind, self.node, self.op, self.detail)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// One diagnostic from the lint pass. Codes are stable and documented in
+/// DESIGN.md's lint catalogue (`W001` reused-uncached, `W002`
+/// broadcast-rowvec, `W003` cast-chain).
+#[derive(Debug, Clone)]
+pub struct Lint {
+    pub code: &'static str,
+    /// Id of the node the lint anchors to.
+    pub node: u64,
+    pub message: String,
+}
+
+/// Estimated data movement for one materialization of the plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FootprintEstimate {
+    /// Bytes read from materialized leaves (memory or SSDs) per pass.
+    pub read_bytes: u64,
+    /// Bytes produced by lazy generators per pass.
+    pub gen_bytes: u64,
+    /// Bytes written for tall outputs (targets and `set.cache`
+    /// byproducts) per pass.
+    pub write_bytes: u64,
+    /// Bytes of intermediate state live per Pcache chunk step — the
+    /// working set the cache-fuse engine sizes against L2.
+    pub working_set_bytes: u64,
+}
+
+/// Everything the analyzer learned about one plan.
+#[derive(Debug, Clone, Default)]
+pub struct AnalysisReport {
+    /// Distinct reachable DAG nodes before the rewrite (incl. leaves).
+    pub nodes_before: usize,
+    /// Distinct reachable nodes after CSE/collapsing.
+    pub nodes_after: usize,
+    /// Duplicate subtrees merged by hash-consing.
+    pub merged: usize,
+    /// Redundant casts and single-input `cbind`s collapsed.
+    pub collapsed: usize,
+    pub lints: Vec<Lint>,
+    pub footprint: FootprintEstimate,
+}
+
+impl AnalysisReport {
+    /// Multi-line human-readable summary (appended to `FM::explain`).
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "analysis: {} node(s) -> {} after rewrite ({} merged, {} collapsed)\n",
+            self.nodes_before, self.nodes_after, self.merged, self.collapsed
+        );
+        let f = &self.footprint;
+        out.push_str(&format!(
+            "footprint: read {} B, gen {} B, write {} B, working set {} B/chunk\n",
+            f.read_bytes, f.gen_bytes, f.write_bytes, f.working_set_bytes
+        ));
+        for l in &self.lints {
+            out.push_str(&format!("{} n{}: {}\n", l.code, l.node, l.message));
+        }
+        out
+    }
+
+    /// Hand-rolled JSON (flashr-core takes no serialization dependency);
+    /// embedded in bench artifacts and trace exports.
+    pub fn to_json(&self) -> String {
+        let mut o = String::with_capacity(256);
+        o.push_str("{\"nodes_before\":");
+        o.push_str(&self.nodes_before.to_string());
+        o.push_str(",\"nodes_after\":");
+        o.push_str(&self.nodes_after.to_string());
+        o.push_str(",\"merged\":");
+        o.push_str(&self.merged.to_string());
+        o.push_str(",\"collapsed\":");
+        o.push_str(&self.collapsed.to_string());
+        o.push_str(",\"lints\":[");
+        for (i, l) in self.lints.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            o.push_str("{\"code\":");
+            json_escape(l.code, &mut o);
+            o.push_str(",\"node\":");
+            o.push_str(&l.node.to_string());
+            o.push_str(",\"message\":");
+            json_escape(&l.message, &mut o);
+            o.push('}');
+        }
+        o.push_str("],\"footprint\":{\"read_bytes\":");
+        o.push_str(&self.footprint.read_bytes.to_string());
+        o.push_str(",\"gen_bytes\":");
+        o.push_str(&self.footprint.gen_bytes.to_string());
+        o.push_str(",\"write_bytes\":");
+        o.push_str(&self.footprint.write_bytes.to_string());
+        o.push_str(",\"working_set_bytes\":");
+        o.push_str(&self.footprint.working_set_bytes.to_string());
+        o.push_str("}}");
+        o
+    }
+}
+
+/// The analyzer's full output: the report plus the rewritten targets the
+/// engine should run and the cache bookkeeping the rewrite requires.
+pub struct Analysis {
+    pub report: AnalysisReport,
+    /// Targets re-rooted on the canonical (rewritten) DAG, slot for slot.
+    pub targets: Vec<Target>,
+    /// `(original, canonical)` pairs for nodes with `set.cache` whose
+    /// canonical representative differs: after materialization the
+    /// canonical node's installed cache must be copied back so the
+    /// user's handle (the original node) becomes an effective leaf.
+    pub cache_pairs: Vec<(Arc<Node>, Arc<Node>)>,
+}
+
+/// Distinct reachable nodes (incl. effective leaves, not descending
+/// past them) from a set of targets.
+pub(crate) fn count_nodes(targets: &[Target]) -> usize {
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut stack: Vec<Arc<Node>> = targets
+        .iter()
+        .map(|t| match t {
+            Target::Sink(n) | Target::Tall { node: n, .. } => n.clone(),
+        })
+        .collect();
+    while let Some(node) = stack.pop() {
+        if !seen.insert(node.id) {
+            continue;
+        }
+        if !node.is_effective_leaf() {
+            for c in node.children() {
+                stack.push(c.clone());
+            }
+        }
+    }
+    seen.len()
+}
+
+/// Run the full pipeline: verify → rewrite → lint.
+///
+/// Verification failures return the [`PlanError`]; the rewrite and lint
+/// layers always run on a verified DAG. The caller decides whether to
+/// execute the rewritten targets (`CtxConfig::optimize`) or the
+/// originals.
+pub fn analyze(ctx: &FlashCtx, targets: &[Target]) -> Result<Analysis, PlanError> {
+    infer::verify(targets)?;
+    let rw = cse::rewrite(targets);
+    let (lints, footprint) = lint::run(ctx, &rw.targets);
+    Ok(Analysis {
+        report: AnalysisReport {
+            nodes_before: rw.nodes_before,
+            nodes_after: rw.nodes_after,
+            merged: rw.merged,
+            collapsed: rw.collapsed,
+            lints,
+            footprint,
+        },
+        targets: rw.targets,
+        cache_pairs: rw.cache_pairs,
+    })
+}

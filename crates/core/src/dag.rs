@@ -48,7 +48,7 @@ pub enum MapOp {
     /// Column binding `cbind(...)`.
     Bind,
     /// `groupby.col`: reduce column groups per row (paper Table 1).
-    GroupCols { labels: Arc<Vec<usize>>, op: crate::ops::AggOp, ngroups: usize },
+    GroupCols { labels: Arc<Vec<usize>>, op: AggOp, ngroups: usize },
 }
 
 /// Node kinds; see the module docs.
@@ -100,6 +100,16 @@ impl Node {
             cache_flag: AtomicBool::new(false),
             cached: OnceLock::new(),
         })
+    }
+
+    /// Rebuild a node with an explicit kind/shape/dtype signature and no
+    /// validation. Used by the plan rewriter (`crate::analysis::cse`) to
+    /// re-parent nodes onto canonical children — the inputs were already
+    /// validated when the original node was constructed — and by tests
+    /// that need to forge ill-shaped nodes for the verifier.
+    #[doc(hidden)]
+    pub fn raw(kind: NodeKind, nrows: u64, ncols: usize, dtype: DType) -> Arc<Node> {
+        Node::new(kind, nrows, ncols, dtype)
     }
 
     /// Wrap a materialized matrix.

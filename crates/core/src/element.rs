@@ -295,7 +295,7 @@ mod tests {
     #[test]
     fn dispatch_picks_the_right_type() {
         fn size_of_dtype(dt: DType) -> usize {
-            dispatch!(dt, T, { std::mem::size_of::<T>() })
+            dispatch!(dt, T, { size_of::<T>() })
         }
         assert_eq!(size_of_dtype(DType::U8), 1);
         assert_eq!(size_of_dtype(DType::F32), 4);

@@ -70,6 +70,7 @@ pub fn run(ctx: &FlashCtx, targets: &[Target]) -> Vec<TargetResult> {
             &[Target::Tall { node: node.clone(), storage: TargetStorage::Default }],
             &resolved,
             "eager-step",
+            None,
         );
         let mat = match result.into_iter().next().expect("one target, one result") {
             TargetResult::Mat(m) => m,
@@ -86,7 +87,7 @@ pub fn run(ctx: &FlashCtx, targets: &[Target]) -> Vec<TargetResult> {
         .iter()
         .map(|t| match t {
             Target::Sink(node) => {
-                fused::run_labeled(ctx, &[Target::Sink(node.clone())], &resolved, "eager-target")
+                fused::run_labeled(ctx, &[Target::Sink(node.clone())], &resolved, "eager-target", None)
                     .into_iter()
                     .next()
                     .expect("one target, one result")
@@ -96,7 +97,7 @@ pub fn run(ctx: &FlashCtx, targets: &[Target]) -> Vec<TargetResult> {
                     TargetResult::Mat(m.clone())
                 } else {
                     // The target itself is a leaf/generator: one pass.
-                    fused::run_labeled(ctx, std::slice::from_ref(t), &resolved, "eager-target")
+                    fused::run_labeled(ctx, std::slice::from_ref(t), &resolved, "eager-target", None)
                         .into_iter()
                         .next()
                         .expect("one target, one result")

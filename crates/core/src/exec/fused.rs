@@ -62,9 +62,16 @@ struct Shared<'a> {
     trace: Option<&'a PassAgg>,
 }
 
-/// Run one fused pass and return one result per target.
-pub fn run(ctx: &FlashCtx, targets: &[Target], resolved: &HashMap<u64, TasMat>) -> Vec<TargetResult> {
-    run_labeled(ctx, targets, resolved, "fused")
+/// Run one fused pass and return one result per target. `nodes_pre_cse`
+/// is the submitted DAG's node count before the analyzer's rewrite, for
+/// the pass profile (`None` when the pass was not analyzed).
+pub fn run(
+    ctx: &FlashCtx,
+    targets: &[Target],
+    resolved: &HashMap<u64, TasMat>,
+    nodes_pre_cse: Option<usize>,
+) -> Vec<TargetResult> {
+    run_labeled(ctx, targets, resolved, "fused", nodes_pre_cse)
 }
 
 /// Like [`run`], with an engine label for the pass profile (the eager
@@ -75,6 +82,7 @@ pub(crate) fn run_labeled(
     targets: &[Target],
     resolved: &HashMap<u64, TasMat>,
     engine: &'static str,
+    nodes_pre_cse: Option<usize>,
 ) -> Vec<TargetResult> {
     let started = Instant::now();
     let plan = Plan::build(ctx, targets, resolved);
@@ -217,6 +225,7 @@ pub(crate) fn run_labeled(
                 ExecMode::CacheFuse => "CacheFuse",
             },
             nodes: plan.nnodes,
+            nodes_pre_cse: nodes_pre_cse.unwrap_or(plan.nnodes),
             nparts: plan.nparts,
             pcache_step: plan.pcache_step,
             sinks: plan.sinks.len(),

@@ -71,12 +71,42 @@ impl TargetResult {
 }
 
 /// Materialize the targets under the context's engine mode.
+///
+/// Every plan first goes through the static analyzer
+/// ([`crate::analysis::analyze`]): verification always runs (an
+/// inconsistent DAG fails here, before any partition is read — use
+/// [`crate::fm::FM::check`] for the non-panicking form), and the CSE
+/// rewrite is applied unless [`crate::session::CtxConfig::optimize`] is
+/// off.
 pub fn materialize(ctx: &FlashCtx, targets: &[Target]) -> Vec<TargetResult> {
     if targets.is_empty() {
         return Vec::new();
     }
-    match ctx.cfg().mode {
-        ExecMode::Eager => eager::run(ctx, targets),
-        ExecMode::MemFuse | ExecMode::CacheFuse => fused::run(ctx, targets, &HashMap::new()),
+    let analysis = match crate::analysis::analyze(ctx, targets) {
+        Ok(a) => a,
+        Err(e) => panic!("{e}"),
+    };
+    let optimize = ctx.cfg().optimize;
+    let (run_targets, nodes_pre) = if optimize {
+        (&analysis.targets[..], Some(analysis.report.nodes_before))
+    } else {
+        (targets, None)
+    };
+    let results = match ctx.cfg().mode {
+        ExecMode::Eager => eager::run(ctx, run_targets),
+        ExecMode::MemFuse | ExecMode::CacheFuse => {
+            fused::run(ctx, run_targets, &HashMap::new(), nodes_pre)
+        }
+    };
+    if optimize {
+        // `set.cache` requests on merged originals were honoured on their
+        // canonical representatives; copy the installed caches back so the
+        // user's handles become effective leaves too.
+        for (orig, canon) in &analysis.cache_pairs {
+            if let Some(m) = canon.cached() {
+                orig.install_cache(m.clone());
+            }
+        }
     }
+    results
 }

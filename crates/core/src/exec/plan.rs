@@ -113,10 +113,22 @@ impl Plan {
                 // Every tall node must share the partition dimension.
                 match tall_nrows {
                     None => tall_nrows = Some(node.nrows),
-                    Some(n) => assert_eq!(
-                        n, node.nrows,
-                        "matrices in one DAG must share the partition dimension"
-                    ),
+                    Some(n) => {
+                        if n != node.nrows {
+                            panic!(
+                                "{}",
+                                crate::analysis::PlanError::new(
+                                    &node,
+                                    crate::analysis::PlanErrorKind::PartitionMismatch,
+                                    format!(
+                                        "matrices in one DAG must share the partition \
+                                         dimension: {} rows vs {} rows",
+                                        node.nrows, n
+                                    ),
+                                )
+                            );
+                        }
+                    }
                 }
                 row_bytes_total += node.ncols * node.dtype.size();
             }

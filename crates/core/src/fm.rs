@@ -14,6 +14,7 @@
 //! * `Small` — a materialized small dense matrix held in memory (what
 //!   sink matrices become, and the currency of p×p math).
 
+use crate::analysis::{AnalysisReport, PlanError, PlanErrorKind};
 use crate::dag::{MapInput, Node, NodeKind};
 use crate::dtype::{DType, Scalar};
 use crate::exec::{self, Target, TargetStorage};
@@ -169,9 +170,20 @@ impl FM {
         matches!(self, FM::Tall { .. })
     }
 
+    /// The [`PlanError`] describing an operation applied to a sink that
+    /// must be materialized first.
+    fn sink_misuse(node: &Node, what: &str) -> PlanError {
+        PlanError::new(
+            node,
+            PlanErrorKind::NotMaterialized,
+            format!("{what} on an unmaterialized sink; call materialize() first"),
+        )
+    }
+
     fn tall_node(&self, what: &str) -> (&Arc<Node>, bool) {
         match self {
             FM::Tall { node, transposed } => (node, *transposed),
+            FM::Sink { node } => panic!("{}", FM::sink_misuse(node, what)),
             other => panic!("{what} requires a tall matrix, got {other:?}"),
         }
     }
@@ -183,11 +195,20 @@ impl FM {
     }
 
     /// `t(x)`: transpose without copying (view flip on talls).
+    /// Panics on an unmaterialized sink; see [`FM::try_t`].
     pub fn t(&self) -> FM {
+        self.try_t().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`FM::t`]: transposing an unmaterialized sink is a
+    /// [`PlanError`] instead of a panic.
+    pub fn try_t(&self) -> Result<FM, PlanError> {
         match self {
-            FM::Tall { node, transposed } => FM::Tall { node: node.clone(), transposed: !transposed },
-            FM::Sink { .. } => panic!("materialize a sink before transposing"),
-            FM::Small(d) => FM::Small(d.transpose()),
+            FM::Tall { node, transposed } => {
+                Ok(FM::Tall { node: node.clone(), transposed: !transposed })
+            }
+            FM::Sink { node } => Err(FM::sink_misuse(node, "t()")),
+            FM::Small(d) => Ok(FM::Small(d.transpose())),
         }
     }
 
@@ -216,18 +237,25 @@ macro_rules! unary_method {
 
 impl FM {
     /// Generic `sapply` with a predefined unary function.
+    /// Panics on an unmaterialized sink; see [`FM::try_unary`].
     pub fn unary(&self, op: UnaryOp) -> FM {
+        self.try_unary(op).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`FM::unary`]: applying an element-wise op to an
+    /// unmaterialized sink is a [`PlanError`] instead of a panic.
+    pub fn try_unary(&self, op: UnaryOp) -> Result<FM, PlanError> {
         match self {
             FM::Tall { node, transposed } => {
-                FM::Tall { node: Node::map_unary(op, node.clone()), transposed: *transposed }
+                Ok(FM::Tall { node: Node::map_unary(op, node.clone()), transposed: *transposed })
             }
-            FM::Sink { .. } => panic!("materialize a sink before element-wise ops"),
+            FM::Sink { node } => Err(FM::sink_misuse(node, "element-wise op")),
             FM::Small(d) => {
                 let mut out = d.clone();
                 for v in out.as_mut_slice().iter_mut() {
                     *v = unary_f64(op, *v);
                 }
-                FM::Small(out)
+                Ok(FM::Small(out))
             }
         }
     }
@@ -251,8 +279,21 @@ impl FM {
     /// Generic `mapply` with a predefined binary function and R-style
     /// broadcasting (`other` may be same-shape, one column, 1×p small, or
     /// effectively scalar).
+    /// Panics on unmaterialized sink operands; see [`FM::try_binary`].
     pub fn binary(&self, op: BinaryOp, other: &FM, swapped: bool) -> FM {
-        match (self, other) {
+        self.try_binary(op, other, swapped).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`FM::binary`]: a sink operand is a [`PlanError`]
+    /// instead of a panic.
+    pub fn try_binary(&self, op: BinaryOp, other: &FM, swapped: bool) -> Result<FM, PlanError> {
+        if let FM::Sink { node } = self {
+            return Err(FM::sink_misuse(node, "element-wise op"));
+        }
+        if let FM::Sink { node } = other {
+            return Err(FM::sink_misuse(node, "element-wise op"));
+        }
+        Ok(match (self, other) {
             (FM::Tall { node: a, transposed: ta }, FM::Tall { node: b, transposed: tb }) => {
                 assert_eq!(
                     ta, tb,
@@ -277,21 +318,28 @@ impl FM {
                 }
             }
             (FM::Small(a), FM::Small(b)) => FM::Small(small_binary(op, a, b, swapped)),
-            (s, o) => panic!("materialize sinks before element-wise ops: {s:?} vs {o:?}"),
-        }
+            _ => unreachable!("sink operands rejected above"),
+        })
     }
 
     /// Element-wise with a scalar.
+    /// Panics on an unmaterialized sink; see [`FM::try_binary_scalar`].
     pub fn binary_scalar(&self, op: BinaryOp, s: f64, swapped: bool) -> FM {
+        self.try_binary_scalar(op, s, swapped).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`FM::binary_scalar`]: an unmaterialized sink is a
+    /// [`PlanError`] instead of a panic.
+    pub fn try_binary_scalar(&self, op: BinaryOp, s: f64, swapped: bool) -> Result<FM, PlanError> {
         match self {
-            FM::Tall { node, transposed } => FM::Tall {
+            FM::Tall { node, transposed } => Ok(FM::Tall {
                 node: Node::map_binary(op, node.clone(), MapInput::Scalar(Scalar::F64(s)), swapped),
                 transposed: *transposed,
-            },
-            FM::Sink { .. } => panic!("materialize a sink before element-wise ops"),
+            }),
+            FM::Sink { node } => Err(FM::sink_misuse(node, "element-wise op")),
             FM::Small(d) => {
                 let sd = Dense::filled(d.rows(), d.cols(), s);
-                FM::Small(small_binary(op, d, &sd, swapped))
+                Ok(FM::Small(small_binary(op, d, &sd, swapped)))
             }
         }
     }
@@ -327,13 +375,20 @@ impl FM {
     }
 
     /// dtype conversion.
+    /// Panics on an unmaterialized sink; see [`FM::try_cast`].
     pub fn cast(&self, to: DType) -> FM {
+        self.try_cast(to).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`FM::cast`]: casting an unmaterialized sink is a
+    /// [`PlanError`] instead of a panic.
+    pub fn try_cast(&self, to: DType) -> Result<FM, PlanError> {
         match self {
             FM::Tall { node, transposed } => {
-                FM::Tall { node: Node::cast(node.clone(), to), transposed: *transposed }
+                Ok(FM::Tall { node: Node::cast(node.clone(), to), transposed: *transposed })
             }
-            FM::Small(d) => FM::Small(d.clone()),
-            FM::Sink { .. } => panic!("materialize a sink before casting"),
+            FM::Small(d) => Ok(FM::Small(d.clone())),
+            FM::Sink { node } => Err(FM::sink_misuse(node, "cast")),
         }
     }
 
@@ -411,7 +466,7 @@ impl FM {
                 }
                 FM::Small(Dense::from_vec(1, 1, vec![acc]))
             }
-            FM::Sink { .. } => panic!("materialize a sink before aggregating it"),
+            FM::Sink { node } => panic!("{}", FM::sink_misuse(node, "aggregation")),
         }
     }
 
@@ -463,7 +518,7 @@ impl FM {
                 }
                 FM::Small(out)
             }
-            FM::Sink { .. } => panic!("materialize a sink before aggregating it"),
+            FM::Sink { node } => panic!("{}", FM::sink_misuse(node, "aggregation")),
         }
     }
 
@@ -490,7 +545,7 @@ impl FM {
                 }
                 FM::Small(out)
             }
-            FM::Sink { .. } => panic!("materialize a sink before aggregating it"),
+            FM::Sink { node } => panic!("{}", FM::sink_misuse(node, "aggregation")),
         }
     }
 
@@ -725,7 +780,7 @@ impl FM {
                     match (fm, r) {
                         (FM::Sink { .. }, exec::TargetResult::Dense(d)) => out.push(FM::Small(d)),
                         (FM::Tall { transposed, .. }, exec::TargetResult::Mat(m)) => {
-                            out.push(FM::Tall { node: Node::leaf(m), transposed: *transposed })
+                            out.push(FM::Tall { node: Node::leaf(m), transposed: *transposed });
                         }
                         _ => unreachable!("target kind mismatch"),
                     }
@@ -735,29 +790,57 @@ impl FM {
         out
     }
 
-    /// The plan the engine would run to materialize this matrix, without
-    /// running it. `None` for already-materialized data (small dense
-    /// results, leaves, cached nodes) — there is nothing to plan.
-    fn pending_plan(&self, ctx: &FlashCtx) -> Option<exec::Plan> {
-        let target = match self {
-            FM::Small(_) => return None,
-            FM::Sink { node } => Target::Sink(node.clone()),
+    /// The exec target this matrix's pending computation would run as.
+    /// `None` for already-materialized data (small dense results, leaves,
+    /// cached nodes) — there is nothing to plan.
+    fn pending_target(&self) -> Option<Target> {
+        match self {
+            FM::Small(_) => None,
+            FM::Sink { node } => Some(Target::Sink(node.clone())),
             FM::Tall { node, .. } => {
                 if matches!(node.kind, NodeKind::Leaf(_)) || node.cached().is_some() {
                     return None;
                 }
-                Target::Tall { node: node.clone(), storage: TargetStorage::Default }
+                Some(Target::Tall { node: node.clone(), storage: TargetStorage::Default })
             }
-        };
+        }
+    }
+
+    /// The plan the engine would run to materialize this matrix, without
+    /// running it.
+    fn pending_plan(&self, ctx: &FlashCtx) -> Option<exec::Plan> {
+        let target = self.pending_target()?;
         Some(exec::Plan::build(ctx, &[target], &HashMap::new()))
+    }
+
+    /// Run the static analyzer over the pending DAG without executing
+    /// anything: shape/dtype verification, then the CSE rewrite and the
+    /// lint pass on the rewritten plan. An inconsistent DAG (mismatched
+    /// `mapply` dims, bad `inner.prod` inner dimension, ...) comes back
+    /// as a typed [`PlanError`] naming the offending node — before any
+    /// partition is read. Already-materialized matrices return an empty
+    /// report.
+    pub fn check(&self, ctx: &FlashCtx) -> Result<AnalysisReport, PlanError> {
+        match self.pending_target() {
+            None => Ok(AnalysisReport::default()),
+            Some(t) => crate::analysis::analyze(ctx, &[t]).map(|a| a.report),
+        }
     }
 
     /// Render the pending DAG as an indented text tree (R's `explain()`):
     /// the fused pass the engine would run, with per-node shapes, dtypes
-    /// and materialization markers.
+    /// and materialization markers, followed by the analyzer's summary
+    /// (CSE node counts, footprint estimate, lints).
     pub fn explain(&self, ctx: &FlashCtx) -> String {
         match self.pending_plan(ctx) {
-            Some(plan) => plan.explain(),
+            Some(plan) => {
+                let mut out = plan.explain();
+                match self.check(ctx) {
+                    Ok(report) => out.push_str(&report.summary()),
+                    Err(e) => out.push_str(&format!("analysis: FAILED — {e}\n")),
+                }
+                out
+            }
             None => "already materialized (no pending DAG)\n".to_string(),
         }
     }

@@ -13,6 +13,8 @@
 //!   partitions and Pcache chunks (paper §3.2);
 //! * [`ops`] — the GenOp kernels (paper Table 1);
 //! * [`dag`] — virtual matrices and lazy evaluation (paper §3.4);
+//! * [`analysis`] — static plan verification, CSE rewriting and fusion
+//!   lints over the pending DAG, run before any partition is read;
 //! * [`exec`] — the fused / mem-fuse / eager materialization engines
 //!   (paper §3.5 and the Figure 10 ablation);
 //! * [`fm`] — the user-facing `FM` matrix type mirroring the R `base`
@@ -29,6 +31,7 @@
 //! assert!(col_means.iter().all(|&m| (m - 0.5).abs() < 0.05));
 //! ```
 
+pub mod analysis;
 pub mod block;
 pub mod chunk;
 pub mod dag;
@@ -45,6 +48,7 @@ pub mod session;
 pub mod stats;
 pub mod trace;
 
+pub use analysis::{AnalysisReport, FootprintEstimate, Lint, PlanError, PlanErrorKind};
 pub use dtype::{DType, Scalar};
 pub use fm::FM;
 pub use session::{CtxConfig, ExecMode, FlashCtx, StorageClass};

@@ -52,6 +52,11 @@ pub struct CtxConfig {
     /// Tracing level (defaults to the `FLASHR_TRACE` environment
     /// variable; off when unset).
     pub trace: TraceLevel,
+    /// Whether the static analyzer's DAG rewrites (CSE, cast/cbind
+    /// collapsing) are applied before execution. Verification and lints
+    /// always run; disabling this executes the original DAG — the A/B
+    /// knob for measuring what the rewrite saves.
+    pub optimize: bool,
 }
 
 impl Default for CtxConfig {
@@ -65,6 +70,7 @@ impl Default for CtxConfig {
             storage: StorageClass::InMem,
             cache_storage: StorageClass::InMem,
             trace: TraceLevel::from_env(),
+            optimize: true,
         }
     }
 }
@@ -160,6 +166,13 @@ impl FlashCtx {
     /// tracer; the original's recordings are untouched).
     pub fn with_trace(&self, trace: TraceLevel) -> FlashCtx {
         let cfg = CtxConfig { trace, ..self.inner.cfg.clone() };
+        FlashCtx::with_config(cfg, self.inner.safs.clone())
+    }
+
+    /// A copy of this context with the analyzer's DAG rewrites switched
+    /// on or off (verification and lints always run).
+    pub fn with_optimize(&self, optimize: bool) -> FlashCtx {
+        let cfg = CtxConfig { optimize, ..self.inner.cfg.clone() };
         FlashCtx::with_config(cfg, self.inner.safs.clone())
     }
 }

@@ -104,6 +104,10 @@ pub struct PassProfile {
     pub mode: &'static str,
     /// Distinct DAG nodes the plan covered (including leaves).
     pub nodes: usize,
+    /// Distinct nodes the *submitted* DAG had before the analyzer's CSE
+    /// rewrite. Equal to `nodes` when nothing merged (or when the
+    /// analyzer was bypassed, e.g. eager sub-passes).
+    pub nodes_pre_cse: usize,
     pub nparts: u64,
     /// Pcache chunk height in rows.
     pub pcache_step: usize,
@@ -334,6 +338,7 @@ fn pass_json(p: &PassProfile, out: &mut String) {
     out.push_str(",\"mode\":");
     json_escape(p.mode, out);
     field_u64("nodes", p.nodes as u64, false, out);
+    field_u64("nodes_pre_cse", p.nodes_pre_cse as u64, false, out);
     field_u64("nparts", p.nparts, false, out);
     field_u64("pcache_step", p.pcache_step as u64, false, out);
     field_u64("sinks", p.sinks as u64, false, out);
@@ -411,6 +416,7 @@ mod tests {
             engine: "fused",
             mode: "CacheFuse",
             nodes: 1,
+            nodes_pre_cse: 1,
             nparts: 1,
             pcache_step: 64,
             sinks: 1,
@@ -437,6 +443,7 @@ mod tests {
             engine: "fused",
             mode: "CacheFuse",
             nodes: 3,
+            nodes_pre_cse: 3,
             nparts: 2,
             pcache_step: 64,
             sinks: 1,

@@ -1,0 +1,396 @@
+//! Static plan analyzer tests: shape/dtype inference vs actual execution,
+//! CSE equivalence and pass reduction, rewrite idempotence, pre-flight
+//! rejection of forged plans, and the lint catalogue.
+
+use flashr_core::analysis::{cse, infer, PlanErrorKind};
+use flashr_core::dag::{MapInput, MapOp, Node, NodeKind};
+use flashr_core::dtype::DType;
+use flashr_core::exec::{Target, TargetStorage};
+use flashr_core::fm::FM;
+use flashr_core::ops::{BinaryOp, UnaryOp};
+use flashr_core::session::{CtxConfig, ExecMode, FlashCtx, StorageClass};
+use flashr_linalg::Dense;
+use flashr_safs::SafsConfig;
+use std::sync::Arc;
+
+fn im_ctx() -> FlashCtx {
+    FlashCtx::with_config(CtxConfig { rows_per_part: 64, nthreads: 4, ..Default::default() }, None)
+}
+
+fn em_ctx(tag: &str) -> FlashCtx {
+    let dir =
+        std::env::temp_dir().join(format!("flashr-analysis-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let safs = flashr_safs::Safs::open(SafsConfig::striped_under(dir, 2)).unwrap();
+    FlashCtx::with_config(
+        CtxConfig {
+            rows_per_part: 64,
+            nthreads: 2,
+            storage: StorageClass::Em,
+            ..Default::default()
+        },
+        Some(safs),
+    )
+}
+
+fn tall_node(fm: &FM) -> Arc<Node> {
+    match fm {
+        FM::Tall { node, .. } => node.clone(),
+        _ => panic!("expected a tall matrix"),
+    }
+}
+
+/// Tiny deterministic PRNG so the "property" tests are reproducible
+/// without a proptest dependency.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Property (a): for randomized DAGs, the analyzer's inferred signature
+/// matches both the recorded node signature and the shape the eager
+/// engine actually produces.
+#[test]
+fn inference_matches_eager_execution_shapes() {
+    let ctx = im_ctx().with_mode(ExecMode::Eager);
+    for seed in 0..12u64 {
+        let mut rng = Lcg(0x9e3779b97f4a7c15 ^ seed);
+        let nrows = 64 * (1 + rng.below(4));
+        let ncols = (1 + rng.below(3)) as usize;
+        // Pool of same-height tall matrices the generator draws operands from.
+        let mut pool: Vec<FM> =
+            vec![FM::runif(&ctx, nrows, ncols, 0.5, 2.0, 1000 + seed)];
+        for step in 0..10 {
+            let a = pool[rng.below(pool.len() as u64) as usize].clone();
+            let next = match rng.below(6) {
+                0 => a.abs(),
+                1 => a.abs().sqrt(),
+                2 => &a + ((step + 1) as f64),
+                3 => &a * 0.5,
+                4 => a.row_sums(),
+                5 => {
+                    let b = pool[rng.below(pool.len() as u64) as usize].clone();
+                    // Element-wise needs matching widths (or a 1-col rhs).
+                    if b.ncol() == a.ncol() || b.ncol() == 1 {
+                        &a + &b
+                    } else {
+                        &b + &a.row_sums()
+                    }
+                }
+                _ => unreachable!(),
+            };
+            pool.push(next);
+        }
+        for fm in &pool {
+            let node = tall_node(fm);
+            // The plan passes the full verifier...
+            fm.check(&ctx).expect("randomized DAG must verify");
+            // ...per-node inference agrees with the recorded signature...
+            let sig = infer::infer(&node).expect("inference succeeds");
+            assert_eq!((sig.nrows, sig.ncols, sig.dtype), (node.nrows, node.ncols, node.dtype));
+            // ...and with what the eager engine actually materializes.
+            let m = fm.materialize(&ctx);
+            assert_eq!(m.nrow(), sig.nrows, "seed {seed}: rows diverge from inference");
+            assert_eq!(m.ncol(), sig.ncols as u64, "seed {seed}: cols diverge from inference");
+        }
+    }
+}
+
+/// Property (b): the CSE rewrite changes neither a single bit of the
+/// results, while strictly reducing eager pass counts and EM bytes read.
+#[test]
+fn cse_is_bit_identical_and_saves_passes_and_bytes() {
+    let em = em_ctx("cse-ab").with_mode(ExecMode::Eager);
+    let x = FM::runif(&em, 1000, 2, 0.0, 1.0, 42).materialize(&em);
+
+    let run = |ctx: &FlashCtx| {
+        let dup = &x.sqrt() + &x.sqrt();
+        let before_exec = ctx.stats().snapshot();
+        let before_io = ctx.safs().unwrap().stats_snapshot();
+        let total = dup.sum().value(ctx);
+        let tall = (&x.sqrt() + &x.sqrt()).to_vec(ctx);
+        let exec = before_exec.delta(&ctx.stats().snapshot());
+        let io = before_io.delta(&ctx.safs().unwrap().stats_snapshot());
+        (total, tall, exec.passes, io.read_bytes)
+    };
+
+    let (t_opt, v_opt, passes_opt, read_opt) = run(&em);
+    let baseline = em.with_optimize(false);
+    let (t_raw, v_raw, passes_raw, read_raw) = run(&baseline);
+
+    assert_eq!(t_opt.to_bits(), t_raw.to_bits(), "CSE must be bit-identical");
+    assert_eq!(v_opt.len(), v_raw.len());
+    for (a, b) in v_opt.iter().zip(&v_raw) {
+        assert_eq!(a.to_bits(), b.to_bits(), "CSE must be bit-identical");
+    }
+    assert!(
+        passes_opt < passes_raw,
+        "CSE must execute strictly fewer eager passes ({passes_opt} vs {passes_raw})"
+    );
+    assert!(
+        read_opt < read_raw,
+        "CSE must read strictly fewer bytes ({read_opt} vs {read_raw})"
+    );
+}
+
+/// Property (c): the rewrite is idempotent — a second application finds
+/// nothing left to merge or collapse.
+#[test]
+fn rewrite_is_idempotent() {
+    let ctx = im_ctx();
+    let x = FM::runif(&ctx, 256, 3, 0.0, 1.0, 7);
+    let y = &x.sqrt() + &x.sqrt();
+    let z = &y.abs() * 2.0;
+    let targets = vec![
+        Target::Tall { node: tall_node(&z), storage: TargetStorage::Default },
+        Target::Sink(match &y.sum() {
+            FM::Sink { node } => node.clone(),
+            _ => unreachable!(),
+        }),
+    ];
+
+    let first = cse::rewrite(&targets);
+    assert!(first.merged > 0, "the duplicated sqrt must merge");
+    let second = cse::rewrite(&first.targets);
+    assert_eq!(second.merged, 0, "second rewrite must find nothing to merge");
+    assert_eq!(second.collapsed, 0, "second rewrite must find nothing to collapse");
+    assert_eq!(second.nodes_before, second.nodes_after);
+    assert_eq!(first.nodes_after, second.nodes_after);
+}
+
+/// A forged mapply with disagreeing operand widths is rejected by
+/// `FM::check` with a typed error naming the node — and without reading
+/// a single partition from the SSDs.
+#[test]
+fn check_rejects_mismatched_mapply_before_any_io() {
+    let em = em_ctx("badmap");
+    let a = FM::runif(&em, 512, 3, 0.0, 1.0, 1).materialize(&em);
+    let b = FM::runif(&em, 512, 2, 0.0, 1.0, 2).materialize(&em);
+    let forged = Node::raw(
+        NodeKind::Map {
+            op: MapOp::Binary { op: BinaryOp::Add, swapped: false },
+            inputs: vec![
+                MapInput::Node(tall_node(&a)),
+                MapInput::Node(tall_node(&b)),
+            ],
+        },
+        512,
+        3,
+        DType::F64,
+    );
+    let forged_id = forged.id;
+    let fm = FM::Tall { node: forged, transposed: false };
+
+    let before = em.safs().unwrap().stats_snapshot();
+    let before_passes = em.stats().snapshot();
+    let err = fm.check(&em).expect_err("mismatched mapply dims must be rejected");
+    assert_eq!(err.node, forged_id, "error must name the forged node");
+    assert_eq!(err.kind, PlanErrorKind::ShapeMismatch);
+    assert!(err.detail.contains("mapply"), "got: {}", err.detail);
+    let io = before.delta(&em.safs().unwrap().stats_snapshot());
+    assert_eq!(io.read_bytes, 0, "verification must not read any partition");
+    assert_eq!(before_passes.delta(&em.stats().snapshot()).passes, 0);
+}
+
+/// A forged `inner.prod` with a bad inner dimension is likewise caught
+/// up front.
+#[test]
+fn check_rejects_bad_inner_prod_dimension() {
+    let ctx = im_ctx();
+    let x = FM::runif(&ctx, 256, 3, 0.0, 1.0, 3);
+    // 3-column input against a 4-row small operand: inner dim mismatch.
+    let b = Arc::new(Dense::filled(4, 2, 1.0));
+    let forged = Node::raw(
+        NodeKind::Map {
+            op: MapOp::InnerProd { b, f1: BinaryOp::Mul, f2: BinaryOp::Add },
+            inputs: vec![MapInput::Node(tall_node(&x))],
+        },
+        256,
+        2,
+        DType::F64,
+    );
+    let forged_id = forged.id;
+    let fm = FM::Tall { node: forged, transposed: false };
+    let err = fm.check(&ctx).expect_err("bad inner dimension must be rejected");
+    assert_eq!(err.node, forged_id);
+    assert_eq!(err.kind, PlanErrorKind::ShapeMismatch);
+    assert!(err.detail.contains("inner.prod"), "got: {}", err.detail);
+}
+
+/// A forged non-associative `inner.prod` combiner is a BadOperand.
+#[test]
+fn check_rejects_non_associative_combiner() {
+    let ctx = im_ctx();
+    let x = FM::runif(&ctx, 256, 3, 0.0, 1.0, 3);
+    let b = Arc::new(Dense::filled(3, 2, 1.0));
+    let forged = Node::raw(
+        NodeKind::Map {
+            op: MapOp::InnerProd { b, f1: BinaryOp::Mul, f2: BinaryOp::Sub },
+            inputs: vec![MapInput::Node(tall_node(&x))],
+        },
+        256,
+        2,
+        DType::F64,
+    );
+    let forged_id = forged.id;
+    let fm = FM::Tall { node: forged, transposed: false };
+    let err = fm.check(&ctx).expect_err("non-associative combiner must be rejected");
+    assert_eq!(err.node, forged_id);
+    assert_eq!(err.kind, PlanErrorKind::BadOperand);
+}
+
+/// Operating on an unmaterialized sink yields a typed NotMaterialized
+/// error from the fallible API (and a panic with the same rendering from
+/// the infallible one).
+#[test]
+fn sink_misuse_is_a_typed_error() {
+    let ctx = im_ctx();
+    let s = FM::runif(&ctx, 256, 2, 0.0, 1.0, 4).sum();
+    let err = s.try_cast(DType::F32).expect_err("casting a sink must fail");
+    assert_eq!(err.kind, PlanErrorKind::NotMaterialized);
+    let err = s.try_binary_scalar(BinaryOp::Add, 1.0, false).expect_err("sink + scalar must fail");
+    assert_eq!(err.kind, PlanErrorKind::NotMaterialized);
+    let err = s.try_unary(UnaryOp::Sqrt).expect_err("sqrt of a sink must fail");
+    assert_eq!(err.kind, PlanErrorKind::NotMaterialized);
+    let rendered = err.to_string();
+    assert!(rendered.contains("not-materialized"), "got: {rendered}");
+}
+
+/// Lint catalogue: W001 reused-but-uncached, W002 oversized broadcast
+/// row vector, W003 lossy cast chain.
+#[test]
+fn lints_fire_on_fusion_unfriendly_patterns() {
+    let ctx = im_ctx();
+
+    // W001: an uncached interior node feeding two consumers.
+    let x = FM::runif(&ctx, 256, 2, 0.0, 1.0, 5);
+    let shared = x.sqrt();
+    let reused = &shared + &shared;
+    let report = reused.check(&ctx).unwrap();
+    assert!(
+        report.lints.iter().any(|l| l.code == "W001"),
+        "expected W001, got {:?}",
+        report.lints
+    );
+    // set.cache silences it.
+    shared.set_cache(true);
+    let report = reused.check(&ctx).unwrap();
+    assert!(!report.lints.iter().any(|l| l.code == "W001"));
+
+    // W002: a broadcast row vector far beyond the Pcache-friendly size.
+    let wide = FM::constant(256, 20_000, 1.0);
+    let row = FM::Small(Dense::filled(1, 20_000, 2.0));
+    let broadcast = &wide + &row;
+    let report = broadcast.check(&ctx).unwrap();
+    assert!(
+        report.lints.iter().any(|l| l.code == "W002"),
+        "expected W002, got {:?}",
+        report.lints
+    );
+
+    // W003: a lossy f64 → i32 → f64 chain survives the rewrite and lints.
+    let chained = x.cast(DType::I32).cast(DType::F64);
+    let report = chained.check(&ctx).unwrap();
+    assert!(
+        report.lints.iter().any(|l| l.code == "W003"),
+        "expected W003, got {:?}",
+        report.lints
+    );
+}
+
+/// The footprint estimate tracks leaf bytes and target bytes.
+#[test]
+fn footprint_estimate_reflects_plan_bytes() {
+    let ctx = im_ctx();
+    let x = FM::runif(&ctx, 1024, 2, 0.0, 1.0, 6).materialize(&ctx);
+    let report = (&x + 1.0).check(&ctx).unwrap();
+    let leaf_bytes = 1024 * 2 * 8;
+    assert_eq!(report.footprint.read_bytes, leaf_bytes);
+    assert_eq!(report.footprint.write_bytes, leaf_bytes, "the tall target is written back");
+    assert_eq!(report.footprint.gen_bytes, 0);
+    assert!(report.footprint.working_set_bytes > 0);
+
+    // A generated input counts as generator bytes, not reads.
+    let report = (&FM::constant(1024, 2, 1.0) + 1.0).sum().check(&ctx).unwrap();
+    assert_eq!(report.footprint.read_bytes, 0);
+    assert_eq!(report.footprint.gen_bytes, leaf_bytes);
+    assert_eq!(report.footprint.write_bytes, 0, "a sink writes no tall output");
+}
+
+/// Cast simplification: a cast to the node's own dtype disappears, and
+/// lossless widening chains collapse to a single cast.
+#[test]
+fn redundant_casts_collapse() {
+    let ctx = im_ctx();
+    let x = FM::runif(&ctx, 256, 2, 0.0, 1.0, 8);
+
+    // The FM layer already refuses to build identity casts, so forge one
+    // (as a corrupted plan would contain) and let the rewriter erase it.
+    let forged = Node::raw(
+        NodeKind::Map {
+            op: MapOp::Cast(DType::F64),
+            inputs: vec![MapInput::Node(tall_node(&x))],
+        },
+        256,
+        2,
+        DType::F64,
+    );
+    let fm = FM::Tall { node: forged, transposed: false };
+    let report = (&fm + 1.0).check(&ctx).unwrap();
+    assert!(report.collapsed >= 1, "identity cast must collapse: {report:?}");
+
+    // A lossless widening chain (u8 → i32 → i64) folds to a single cast.
+    let mask = x.gt(&FM::constant(256, 2, 0.5)); // u8 predicate
+    let chained = mask.cast(DType::I32).cast(DType::I64);
+    let report = chained.check(&ctx).unwrap();
+    assert!(report.collapsed >= 1, "lossless cast chain must collapse: {report:?}");
+    assert!(
+        !report.lints.iter().any(|l| l.code == "W003"),
+        "a lossless chain is not W003 material: {:?}",
+        report.lints
+    );
+
+    // Results survive the collapse unchanged.
+    let a = chained.cast(DType::F64).sum().value(&ctx);
+    let b = mask.cast(DType::I64).cast(DType::F64).sum().value(&ctx);
+    assert_eq!(a.to_bits(), b.to_bits());
+}
+
+/// `FM::explain` carries the analyzer summary so plans can be inspected
+/// without running them.
+#[test]
+fn explain_includes_analysis_summary() {
+    let ctx = im_ctx();
+    let x = FM::runif(&ctx, 256, 2, 0.0, 1.0, 9);
+    let text = (&x.sqrt() + &x.sqrt()).sum().explain(&ctx);
+    assert!(text.contains("analysis:"), "missing analysis summary:\n{text}");
+    assert!(text.contains("footprint:"), "missing footprint line:\n{text}");
+    assert!(text.contains("merged"), "missing CSE counts:\n{text}");
+}
+
+/// Multi-sink materialization still works with the analyzer in the loop,
+/// and `set.cache` handles installed on pre-rewrite nodes stay usable.
+#[test]
+fn cache_handles_survive_the_rewrite() {
+    let ctx = im_ctx();
+    let x = FM::runif(&ctx, 512, 2, 0.0, 1.0, 10);
+    let y = x.sqrt();
+    let dup = x.sqrt(); // merges with y under CSE
+    dup.set_cache(true);
+    let s = (&y + &dup).sum().value(&ctx);
+    assert!(s.is_finite());
+    // The duplicate handle's cache request was honoured through its
+    // canonical representative.
+    match &dup {
+        FM::Tall { node, .. } => assert!(node.cached().is_some(), "cache must be installed"),
+        _ => unreachable!(),
+    }
+}

@@ -53,6 +53,7 @@ impl IoBuf {
     /// Byte view.
     #[inline]
     pub fn as_bytes(&self) -> &[u8] {
+        debug_assert!(self.words.len() * 8 >= self.len, "word storage must cover len");
         // SAFETY: the words allocation covers at least `len` bytes and u8
         // has alignment 1.
         unsafe { std::slice::from_raw_parts(self.words.as_ptr().cast::<u8>(), self.len) }
@@ -61,6 +62,7 @@ impl IoBuf {
     /// Mutable byte view.
     #[inline]
     pub fn as_mut_bytes(&mut self) -> &mut [u8] {
+        debug_assert!(self.words.len() * 8 >= self.len, "word storage must cover len");
         // SAFETY: as above; `&mut self` guarantees uniqueness.
         unsafe { std::slice::from_raw_parts_mut(self.words.as_mut_ptr().cast::<u8>(), self.len) }
     }
@@ -72,9 +74,15 @@ impl IoBuf {
     /// be an exact multiple of `size_of::<T>()`.
     #[inline]
     pub fn typed<T: Pod>(&self) -> &[T] {
-        let size = std::mem::size_of::<T>();
-        assert!(std::mem::align_of::<T>() <= 8);
+        let size = size_of::<T>();
+        assert!(align_of::<T>() <= 8);
         assert_eq!(self.len % size, 0, "buffer length {} not a multiple of {}", self.len, size);
+        debug_assert_eq!(
+            self.words.as_ptr() as usize % align_of::<T>(),
+            0,
+            "word storage must satisfy T's alignment"
+        );
+        debug_assert!(self.words.len() * 8 >= self.len, "word storage must cover len");
         // SAFETY: backing storage is 8-byte aligned, covers len bytes, and
         // T: Pod means any bit pattern is a valid T.
         unsafe { std::slice::from_raw_parts(self.words.as_ptr().cast::<T>(), self.len / size) }
@@ -83,9 +91,15 @@ impl IoBuf {
     /// Mutable typed view; see [`IoBuf::typed`].
     #[inline]
     pub fn typed_mut<T: Pod>(&mut self) -> &mut [T] {
-        let size = std::mem::size_of::<T>();
-        assert!(std::mem::align_of::<T>() <= 8);
+        let size = size_of::<T>();
+        assert!(align_of::<T>() <= 8);
         assert_eq!(self.len % size, 0, "buffer length {} not a multiple of {}", self.len, size);
+        debug_assert_eq!(
+            self.words.as_ptr() as usize % align_of::<T>(),
+            0,
+            "word storage must satisfy T's alignment"
+        );
+        debug_assert!(self.words.len() * 8 >= self.len, "word storage must cover len");
         // SAFETY: as in `typed`, plus uniqueness from `&mut self`.
         unsafe { std::slice::from_raw_parts_mut(self.words.as_mut_ptr().cast::<T>(), self.len / size) }
     }

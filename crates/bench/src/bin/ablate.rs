@@ -71,6 +71,50 @@ fn main() {
         t_count *= 2;
     }
 
+    // ------------------------------------------------ SA-cache size sweep
+    // A 5-iteration KMeans-shaped workload (every iteration re-reads the
+    // EM input in full). Cache size 0 is today's behavior — every
+    // iteration pays full device I/O; a cache that holds the input makes
+    // warm iterations near-zero device reads (ISSUE 3 acceptance).
+    let n_em = scale.rows(100_000, 1_000_000);
+    let data_bytes = n_em * p as u64 * 8;
+    println!("\nSA-cache size sweep (5-iteration EM re-scan, input {data_bytes} bytes):");
+    println!("{:>12} {:>10} {:>12} {:>12} {:>9}", "cache", "seconds", "dev reads", "dev bytes", "hit rate");
+    for (label, cache_bytes) in
+        [("0", 0u64), ("half-input", data_bytes / 2), ("2x-input", data_bytes * 2)]
+    {
+        let dir = scratch_dir(&format!("ablate-cache-{label}"));
+        let mut safs_cfg = SafsConfig::striped_under(&dir, 4);
+        if cache_bytes > 0 {
+            safs_cfg = safs_cfg.with_cache(CacheCfg::with_capacity(cache_bytes));
+        }
+        let safs = Safs::open(safs_cfg).expect("SAFS open failed");
+        let ctx = FlashCtx::with_config(
+            CtxConfig { storage: StorageClass::Em, ..Default::default() },
+            Some(safs),
+        );
+        let x = FM::rnorm(&ctx, n_em, p, 0.0, 1.0, 3).materialize(&ctx);
+        workload(&ctx, &x); // cold iteration warms the cache
+        let before = ctx.safs().unwrap().stats_snapshot();
+        let (_, t) = time(|| {
+            for _ in 0..5 {
+                workload(&ctx, &x);
+            }
+        });
+        let io = before.delta(&ctx.safs().unwrap().stats_snapshot());
+        let lookups = io.cache.hits + io.cache.misses + io.cache.coalesced;
+        let hit_rate =
+            if lookups > 0 { io.cache.hits as f64 / lookups as f64 * 100.0 } else { 0.0 };
+        println!(
+            "{label:>12} {:>10.3} {:>12} {:>12} {hit_rate:>8.1}%",
+            t.as_secs_f64(),
+            io.read_reqs,
+            io.read_bytes
+        );
+        report.push("ablate", "cache-size", label, "", t.as_secs_f64());
+        report.push("ablate", "cache-size-reads", label, "", io.read_reqs as f64);
+    }
+
     // --------------------------------------------- buffer-recycle check
     // Same DAG evaluated twice: the second run reuses pooled buffers; the
     // ratio is a proxy for allocator pressure the recycler removes.

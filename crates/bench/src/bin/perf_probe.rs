@@ -16,7 +16,7 @@
 //! ```
 
 use flashr::prelude::*;
-use flashr_bench::{bench_artifact_json_sections, save_bench_artifact, BenchStage};
+use flashr_bench::{bench_artifact_json_sections, save_bench_artifact, scratch_dir, BenchStage};
 use std::time::Instant;
 
 fn main() {
@@ -73,8 +73,39 @@ fn main() {
     let _ = u.sum().value(&ctx);
     stage(&mut stages, "runif gen + sum:", "runif_gen_sum", t.elapsed());
 
+    // SA-cache probe: an EM context whose page cache holds the input;
+    // the cold scan pays device reads, the warm scan must be all hits.
+    // The counters land in the artifact's "cache" section.
+    let n_em = 500_000u64;
+    let em_bytes = n_em * p as u64 * 8;
+    let em_cfg = SafsConfig::striped_under(scratch_dir("perf-probe-cache"), 4)
+        .with_cache(CacheCfg::with_capacity(2 * em_bytes));
+    let em_ctx = FlashCtx::with_config(
+        CtxConfig { storage: StorageClass::Em, trace: level, ..Default::default() },
+        Some(Safs::open(em_cfg).expect("SAFS open failed")),
+    );
+    let xe = FM::rnorm(&em_ctx, n_em, p, 0.0, 1.0, 4).materialize(&em_ctx);
+    let t = Instant::now();
+    let cold_sum = xe.sum().value(&em_ctx);
+    let cold = t.elapsed();
+    println!("EM sum (cold cache): {cold:>12.3?}");
+    let t = Instant::now();
+    let warm_sum = xe.sum().value(&em_ctx);
+    let warm = t.elapsed();
+    let warm_gibps = em_bytes as f64 / warm.as_secs_f64() / (1u64 << 30) as f64;
+    println!("EM sum (warm cache): {warm:>12.3?}  ({warm_gibps:.2} GiB/s)");
+    stages.push(BenchStage::new("em_sum_warm_cache", warm, warm_gibps));
+    assert!(cold_sum == warm_sum, "cache changed the data");
+    let cache = em_ctx.safs().unwrap().stats_snapshot().cache;
+    println!(
+        "cache:               {} hits, {} misses, {} evictions, {} readahead",
+        cache.hits, cache.misses, cache.evictions, cache.readahead_issued
+    );
+    let mut cache_section = String::new();
+    flashr::core::trace::cache_json(&cache, &mut cache_section);
+
     let report = ctx.profile_report();
-    let sections = [("analysis", analysis.to_json())];
+    let sections = [("analysis", analysis.to_json()), ("cache", cache_section)];
     let path = save_bench_artifact(
         "perf_probe",
         &bench_artifact_json_sections("perf_probe", &stages, &report, &sections),

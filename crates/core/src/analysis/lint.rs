@@ -14,6 +14,11 @@
 //! * **W003** `cast-chain`: a cast feeding a cast that survived the
 //!   rewrite, i.e. the inner conversion is lossy, so the chain both
 //!   truncates data and doubles per-element conversion work.
+//! * **W004** `em-rescan-uncached`: in eager mode the plan reads an
+//!   external-memory leaf in two or more passes, but the configured
+//!   page-cache budget is smaller than that leaf, so every pass pays
+//!   full device I/O. Raise the cache/memory budget or switch to a
+//!   fused mode (one pass).
 //!
 //! The footprint estimate mirrors the plan's sizing arithmetic
 //! ([`crate::part::pcache_rows`]): bytes read from materialized leaves,
@@ -104,6 +109,32 @@ pub fn run(ctx: &FlashCtx, targets: &[Target]) -> (Vec<Lint>, FootprintEstimate)
 
     for node in &order {
         if node.is_effective_leaf() {
+            // W004: eager mode runs one pass per operation, so a leaf
+            // with N consumers is read N times; if it cannot fit in the
+            // page cache those are all device reads.
+            if ctx.cfg().mode == ExecMode::Eager
+                && consumers.get(&node.id).copied().unwrap_or(0) >= 2
+            {
+                let em = match (&node.kind, node.cached()) {
+                    (NodeKind::Leaf(m), _) => m.is_em(),
+                    (_, Some(m)) => m.is_em(),
+                    _ => false,
+                };
+                let cache_cap = ctx.safs().map(|s| s.page_cache_capacity()).unwrap_or(0);
+                if em && mat_bytes(node) > cache_cap {
+                    lints.push(Lint {
+                        code: "W004",
+                        node: node.id,
+                        message: format!(
+                            "{} ({} bytes, external memory) is read by {} eager passes but the page-cache budget is {} bytes; every pass re-reads the device (raise the memory budget or use a fused mode)",
+                            node.label(),
+                            mat_bytes(node),
+                            consumers[&node.id],
+                            cache_cap
+                        ),
+                    });
+                }
+            }
             continue;
         }
         if !node.is_sink()

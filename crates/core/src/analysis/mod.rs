@@ -96,7 +96,7 @@ impl std::error::Error for PlanError {}
 
 /// One diagnostic from the lint pass. Codes are stable and documented in
 /// DESIGN.md's lint catalogue (`W001` reused-uncached, `W002`
-/// broadcast-rowvec, `W003` cast-chain).
+/// broadcast-rowvec, `W003` cast-chain, `W004` em-rescan-uncached).
 #[derive(Debug, Clone)]
 pub struct Lint {
     pub code: &'static str,

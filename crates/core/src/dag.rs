@@ -13,6 +13,7 @@
 use crate::dtype::{DType, Scalar};
 use crate::gen::GenSpec;
 use crate::mat::TasMat;
+use crate::session::CachePin;
 use crate::ops::{AggOp, BinaryOp, UnaryOp};
 use flashr_linalg::Dense;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -86,7 +87,15 @@ pub struct Node {
     pub ncols: usize,
     pub dtype: DType,
     cache_flag: AtomicBool,
-    cached: OnceLock<TasMat>,
+    cached: OnceLock<CacheSlot>,
+}
+
+/// A node's installed materialization plus the memory-budget pin that
+/// keeps it accounted (None for EM/spilled/unbudgeted results).
+#[derive(Debug)]
+struct CacheSlot {
+    mat: TasMat,
+    _pin: Option<CachePin>,
 }
 
 impl Node {
@@ -363,12 +372,19 @@ impl Node {
 
     /// The cached materialization, if any.
     pub fn cached(&self) -> Option<&TasMat> {
-        self.cached.get()
+        self.cached.get().map(|slot| &slot.mat)
     }
 
     /// Install the cached materialization (idempotent; first write wins).
     pub fn install_cache(&self, mat: TasMat) {
-        let _ = self.cached.set(mat);
+        self.install_cache_pinned(mat, None);
+    }
+
+    /// Install the cached materialization together with its memory
+    /// pin, released when this node (the last DAG referencing it) is
+    /// dropped.
+    pub fn install_cache_pinned(&self, mat: TasMat, pin: Option<CachePin>) {
+        let _ = self.cached.set(CacheSlot { mat, _pin: pin });
     }
 
     /// Whether the executor can treat this node as a leaf.

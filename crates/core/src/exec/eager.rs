@@ -77,7 +77,8 @@ pub fn run(ctx: &FlashCtx, targets: &[Target]) -> Vec<TargetResult> {
             TargetResult::Dense(_) => unreachable!("tall target yields a matrix"),
         };
         if node.cache_requested() {
-            node.install_cache(mat.clone());
+            let (cached, pin) = ctx.admit_cache(mat.clone());
+            node.install_cache_pinned(cached, pin);
         }
         resolved.insert(node.id, mat);
     }

@@ -93,6 +93,9 @@ pub(crate) fn run_labeled(
         trace_ops: tracer.enabled(TraceLevel::Op),
         ..PassAgg::default()
     });
+    // Snapshot page-cache counters so the pass profile carries deltas.
+    let cache_before =
+        agg.as_ref().and_then(|_| ctx.safs().map(|s| s.stats_snapshot().cache));
 
     // Prepare tall outputs.
     let tall_states: Vec<TallState> = plan
@@ -197,7 +200,8 @@ pub(crate) fn run_labeled(
             ),
         };
         if t.is_cache {
-            t.node.install_cache(mat.clone());
+            let (cached, pin) = ctx.admit_cache(mat.clone());
+            t.node.install_cache_pinned(cached, pin);
         }
         if let Some(slot) = t.slot {
             results[slot] = Some(TargetResult::Mat(mat));
@@ -231,6 +235,9 @@ pub(crate) fn run_labeled(
             sinks: plan.sinks.len(),
             talls: plan.talls.len(),
             wall_nanos: started.elapsed().as_nanos() as u64,
+            cache: cache_before
+                .map(|before| before.delta(&ctx.safs().expect("had safs").stats_snapshot().cache))
+                .unwrap_or_default(),
             workers,
             ops,
         });
@@ -584,11 +591,17 @@ fn eval_uncached(
     let key = (node.id, r0, r1);
     // Materialized data (leaf / cached / eager-resolved)?
     if let Some(mat) = env.plan.leaf_mat(node) {
-        let buf = env
-            .leaf_bufs
-            .get(&node.id)
-            .unwrap_or_else(|| panic!("leaf {} not prefetched", node.id));
-        let chunk = Rc::new(mat.pcache_chunk(buf, env.part, r0, r1, pool));
+        let chunk = match env.leaf_bufs.get(&node.id) {
+            Some(buf) => Rc::new(mat.pcache_chunk(buf, env.part, r0, r1, pool)),
+            // A leaf outside the prefetch set (e.g. discovered through a
+            // rewrite the planner didn't anticipate): degrade to a
+            // synchronous read — which still goes through the page cache
+            // and the typed SafsError path — instead of panicking.
+            None => {
+                let buf = mat.read_part(env.part);
+                Rc::new(mat.pcache_chunk(&buf, env.part, r0, r1, pool))
+            }
+        };
         memo.insert(key, chunk.clone());
         return chunk;
     }

@@ -11,7 +11,7 @@ use crate::chunk::{BufPool, Chunk};
 use crate::dtype::{DType, Scalar};
 use crate::element::Element;
 use crate::part::Partitioner;
-use flashr_safs::{IoBuf, IoTicket, Safs, SafsFile};
+use flashr_safs::{CachedFetch, IoBuf, IoTicket, Safs, SafsFile};
 use std::sync::Arc;
 
 /// Element order inside one I/O partition.
@@ -65,6 +65,9 @@ pub enum PartFetch {
     Ready(Arc<IoBuf>),
     /// External-memory partition, pending on the I/O engine.
     Pending(IoTicket),
+    /// External-memory partition routed through the SAFS page cache
+    /// (hit, coalesced miss or readahead adoption).
+    Cached(CachedFetch),
 }
 
 impl PartFetch {
@@ -73,6 +76,7 @@ impl PartFetch {
         match self {
             PartFetch::Ready(buf) => buf,
             PartFetch::Pending(ticket) => Arc::new(ticket.wait().expect("partition read failed")),
+            PartFetch::Cached(fetch) => fetch.wait().expect("partition read failed"),
         }
     }
 }
@@ -230,7 +234,11 @@ impl TasMat {
         match &self.inner.store {
             Store::InMem(parts) => PartFetch::Ready(parts[part as usize].clone()),
             Store::Em(file) => {
-                PartFetch::Pending(file.read_part_async(part).expect("partition read submit failed"))
+                match file.fetch_part_cached(part).expect("partition read submit failed") {
+                    // No cache installed (or bypassed): the plain async path.
+                    CachedFetch::Direct(ticket) => PartFetch::Pending(ticket),
+                    fetch => PartFetch::Cached(fetch),
+                }
             }
         }
     }

@@ -1,10 +1,12 @@
 //! The FlashR execution context: threads, engine mode, partitioning,
 //! simulated NUMA topology and the optional SSD array.
 
+use crate::mat::TasMat;
 use crate::part::Partitioner;
 use crate::stats::ExecStats;
 use crate::trace::{ProfileReport, TraceLevel, Tracer};
-use flashr_safs::{Safs, SafsConfig, SafsResult};
+use flashr_safs::{CacheCfg, Safs, SafsConfig, SafsResult};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// How DAGs are materialized — exactly the three configurations the
@@ -57,6 +59,11 @@ pub struct CtxConfig {
     /// always run; disabling this executes the original DAG — the A/B
     /// knob for measuring what the rewrite saves.
     pub optimize: bool,
+    /// Optional global memory budget. On an EM context this sizes the
+    /// SAFS page cache and bounds `set.cache` pinning (over-budget
+    /// cached matrices spill to SAFS temporaries); `None` keeps the
+    /// historical unlimited behavior.
+    pub mem_budget: Option<MemBudget>,
 }
 
 impl Default for CtxConfig {
@@ -71,7 +78,165 @@ impl Default for CtxConfig {
             cache_storage: StorageClass::InMem,
             trace: TraceLevel::from_env(),
             optimize: true,
+            mem_budget: None,
         }
+    }
+}
+
+/// A global memory budget shared by the SAFS page cache and `set.cache`
+/// materializations (paper §3.2.1: FlashR keeps both under one
+/// memory-size knob so EM sessions degrade gracefully instead of
+/// swapping).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemBudget {
+    /// Total bytes the session may pin (0 = unlimited, the historical
+    /// behavior).
+    pub total_bytes: u64,
+    /// Fraction of the budget handed to the SAFS page cache; the rest
+    /// backs pinned `set.cache` matrices. Only meaningful on EM
+    /// contexts.
+    pub cache_fraction: f64,
+}
+
+impl MemBudget {
+    /// A budget of `total_bytes`, split evenly between the page cache
+    /// and pinned materializations.
+    pub fn new(total_bytes: u64) -> Self {
+        MemBudget { total_bytes, cache_fraction: 0.5 }
+    }
+
+    /// Builder-style: set the page-cache share of the budget.
+    pub fn with_cache_fraction(mut self, f: f64) -> Self {
+        self.cache_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+
+    pub(crate) fn cache_bytes(&self) -> u64 {
+        (self.total_bytes as f64 * self.cache_fraction) as u64
+    }
+
+    pub(crate) fn pin_bytes(&self) -> u64 {
+        self.total_bytes - self.cache_bytes()
+    }
+}
+
+struct GovInner {
+    /// Pinnable budget in bytes; 0 means "unlimited" (every pin
+    /// succeeds and nothing spills).
+    budget: u64,
+    pinned: AtomicU64,
+    spills: AtomicU64,
+    overcommits: AtomicU64,
+}
+
+/// Tracks how much memory `set.cache` materializations have pinned and
+/// decides when a cached matrix must spill to a SAFS temporary instead.
+///
+/// Cheap to clone; all clones share the same accounting.
+#[derive(Clone)]
+pub struct MemGovernor {
+    inner: Arc<GovInner>,
+}
+
+impl MemGovernor {
+    pub(crate) fn new(budget: u64) -> Self {
+        MemGovernor {
+            inner: Arc::new(GovInner {
+                budget,
+                pinned: AtomicU64::new(0),
+                spills: AtomicU64::new(0),
+                overcommits: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Try to reserve `bytes` of the pin budget. `None` means the caller
+    /// should spill instead. With an unlimited budget every pin succeeds.
+    pub fn try_pin(&self, bytes: u64) -> Option<CachePin> {
+        if self.inner.budget == 0 {
+            self.inner.pinned.fetch_add(bytes, Ordering::Relaxed);
+            return Some(CachePin { gov: self.inner.clone(), bytes });
+        }
+        let mut cur = self.inner.pinned.load(Ordering::Relaxed);
+        loop {
+            let next = cur.checked_add(bytes)?;
+            if next > self.inner.budget {
+                return None;
+            }
+            match self.inner.pinned.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(CachePin { gov: self.inner.clone(), bytes }),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Reserve `bytes` unconditionally (used when there is nowhere to
+    /// spill to); counts an overcommit when this bursts the budget.
+    pub(crate) fn force_pin(&self, bytes: u64) -> CachePin {
+        let prev = self.inner.pinned.fetch_add(bytes, Ordering::Relaxed);
+        if self.inner.budget > 0 && prev.saturating_add(bytes) > self.inner.budget {
+            self.inner.overcommits.fetch_add(1, Ordering::Relaxed);
+        }
+        CachePin { gov: self.inner.clone(), bytes }
+    }
+
+    pub(crate) fn note_spill(&self) {
+        self.inner.spills.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The pinnable budget in bytes (0 = unlimited).
+    pub fn budget_bytes(&self) -> u64 {
+        self.inner.budget
+    }
+
+    /// Bytes currently pinned by live `set.cache` matrices.
+    pub fn pinned_bytes(&self) -> u64 {
+        self.inner.pinned.load(Ordering::Relaxed)
+    }
+
+    /// How many cached matrices spilled to SAFS temporaries.
+    pub fn spills(&self) -> u64 {
+        self.inner.spills.load(Ordering::Relaxed)
+    }
+
+    /// How many pins burst the budget because no SAFS runtime was
+    /// available to spill to.
+    pub fn overcommits(&self) -> u64 {
+        self.inner.overcommits.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for MemGovernor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemGovernor")
+            .field("budget", &self.inner.budget)
+            .field("pinned", &self.pinned_bytes())
+            .field("spills", &self.spills())
+            .finish()
+    }
+}
+
+/// RAII reservation of pin budget; releases its bytes on drop (i.e.
+/// when the cached matrix it guards is dropped or uncached).
+pub struct CachePin {
+    gov: Arc<GovInner>,
+    bytes: u64,
+}
+
+impl Drop for CachePin {
+    fn drop(&mut self) {
+        self.gov.pinned.fetch_sub(self.bytes, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for CachePin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CachePin({} bytes)", self.bytes)
     }
 }
 
@@ -86,6 +251,7 @@ struct CtxInner {
     safs: Option<Safs>,
     stats: ExecStats,
     tracer: Tracer,
+    governor: MemGovernor,
 }
 
 impl FlashCtx {
@@ -110,7 +276,23 @@ impl FlashCtx {
             assert!(safs.is_some(), "EM storage requires a SAFS runtime");
         }
         let tracer = Tracer::new(cfg.trace);
-        FlashCtx { inner: Arc::new(CtxInner { cfg, safs, stats: ExecStats::default(), tracer }) }
+        let governor = match (&cfg.mem_budget, &safs) {
+            (Some(b), Some(s)) if b.total_bytes > 0 => {
+                // Hand the cache share to the SAFS page cache (sharded
+                // like the engine's NUMA tagging) and keep the rest as
+                // the pin budget.
+                s.set_page_cache(Some(
+                    CacheCfg::with_capacity(b.cache_bytes()).with_shards(cfg.numa_nodes),
+                ));
+                MemGovernor::new(b.pin_bytes())
+            }
+            // No SSD array: the whole budget bounds pinning.
+            (Some(b), None) => MemGovernor::new(b.total_bytes),
+            _ => MemGovernor::new(0),
+        };
+        FlashCtx {
+            inner: Arc::new(CtxInner { cfg, safs, stats: ExecStats::default(), tracer, governor }),
+        }
     }
 
     /// The configuration.
@@ -174,6 +356,47 @@ impl FlashCtx {
     pub fn with_optimize(&self, optimize: bool) -> FlashCtx {
         let cfg = CtxConfig { optimize, ..self.inner.cfg.clone() };
         FlashCtx::with_config(cfg, self.inner.safs.clone())
+    }
+
+    /// A copy of this context with a memory budget (resizes the SAFS
+    /// page cache and starts fresh pin accounting).
+    pub fn with_mem_budget(&self, budget: MemBudget) -> FlashCtx {
+        let cfg = CtxConfig { mem_budget: Some(budget), ..self.inner.cfg.clone() };
+        FlashCtx::with_config(cfg, self.inner.safs.clone())
+    }
+
+    /// The memory governor bounding `set.cache` pinning.
+    pub fn governor(&self) -> &MemGovernor {
+        &self.inner.governor
+    }
+
+    /// Admission control for a freshly materialized `set.cache` matrix:
+    /// pin it in memory if the budget allows, otherwise spill it to a
+    /// SAFS-backed temporary (it re-enters memory through the page
+    /// cache). EM results are already on the array and need no pin.
+    pub(crate) fn admit_cache(&self, mat: TasMat) -> (TasMat, Option<CachePin>) {
+        if mat.is_em() {
+            return (mat, None);
+        }
+        let bytes = mat
+            .nrows()
+            .saturating_mul(mat.ncols() as u64)
+            .saturating_mul(mat.dtype().size() as u64);
+        if let Some(pin) = self.inner.governor.try_pin(bytes) {
+            return (mat, Some(pin));
+        }
+        match &self.inner.safs {
+            Some(safs) => {
+                self.inner.governor.note_spill();
+                (mat.to_em(safs), None)
+            }
+            // Nowhere to spill: keep it in memory and record the
+            // overcommit.
+            None => {
+                let pin = self.inner.governor.force_pin(bytes);
+                (mat, Some(pin))
+            }
+        }
     }
 }
 

@@ -21,7 +21,7 @@
 //! reached behind an `Option` that is `None` when disabled.
 
 use crate::stats::ExecStatsSnapshot;
-use flashr_safs::{IoStatsSnapshot, LatencyHistoSnapshot, LAT_BUCKETS};
+use flashr_safs::{CacheStatsSnapshot, IoStatsSnapshot, LatencyHistoSnapshot, LAT_BUCKETS};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -114,6 +114,9 @@ pub struct PassProfile {
     pub sinks: usize,
     pub talls: usize,
     pub wall_nanos: u64,
+    /// Page-cache counter deltas over this pass (all zero when the
+    /// context has no SAFS runtime or no cache installed).
+    pub cache: CacheStatsSnapshot,
     pub workers: Vec<WorkerProfile>,
     /// Per-node timings; empty below [`TraceLevel::Op`].
     pub ops: Vec<OpProfile>,
@@ -323,10 +326,28 @@ fn io_json(io: &IoStatsSnapshot, out: &mut String) {
     field_u64("write_nanos", io.write_nanos, false, out);
     field_u64("cur_queue_depth", io.cur_queue_depth, false, out);
     field_u64("max_queue_depth", io.max_queue_depth, false, out);
+    out.push_str(",\"cache\":");
+    cache_json(&io.cache, out);
     out.push_str(",\"read_lat\":");
     histo_json(&io.read_lat, out);
     out.push_str(",\"write_lat\":");
     histo_json(&io.write_lat, out);
+    out.push('}');
+}
+
+/// Serialize page-cache counters (also used by benchmark artifacts).
+pub fn cache_json(c: &CacheStatsSnapshot, out: &mut String) {
+    out.push('{');
+    field_u64("hits", c.hits, true, out);
+    field_u64("misses", c.misses, false, out);
+    field_u64("coalesced", c.coalesced, false, out);
+    field_u64("bypasses", c.bypasses, false, out);
+    field_u64("inserts", c.inserts, false, out);
+    field_u64("evictions", c.evictions, false, out);
+    field_u64("invalidations", c.invalidations, false, out);
+    field_u64("readahead_issued", c.readahead_issued, false, out);
+    field_u64("readahead_hits", c.readahead_hits, false, out);
+    field_u64("resident_bytes", c.resident_bytes, false, out);
     out.push('}');
 }
 
@@ -350,6 +371,9 @@ fn pass_json(p: &PassProfile, out: &mut String) {
     let (local, remote) = p.numa_split();
     field_u64("local_parts", local, false, out);
     field_u64("remote_parts", remote, false, out);
+    field_u64("cache_hits", p.cache.hits, false, out);
+    field_u64("cache_misses", p.cache.misses, false, out);
+    field_u64("cache_readahead", p.cache.readahead_issued, false, out);
     out.push_str(",\"workers\":[");
     for (i, w) in p.workers.iter().enumerate() {
         if i > 0 {
@@ -422,6 +446,7 @@ mod tests {
             sinks: 1,
             talls: 0,
             wall_nanos: 1,
+            cache: CacheStatsSnapshot::default(),
             workers: Vec::new(),
             ops: Vec::new(),
         };
@@ -449,6 +474,7 @@ mod tests {
             sinks: 1,
             talls: 1,
             wall_nanos: 12345,
+            cache: CacheStatsSnapshot::default(),
             workers: vec![WorkerProfile {
                 tid: 0,
                 parts: 2,

@@ -394,3 +394,36 @@ fn cache_handles_survive_the_rewrite() {
         _ => unreachable!(),
     }
 }
+
+/// W004: eager mode re-reads an EM leaf in several passes while the
+/// page-cache budget cannot hold it; a sufficient memory budget (or a
+/// fused mode) silences the lint.
+#[test]
+fn w004_flags_em_rescans_beyond_cache_budget() {
+    let ctx = em_ctx("w004");
+    let eager = ctx.with_mode(ExecMode::Eager);
+    // An EM leaf consumed twice: two eager passes, two device scans.
+    let x = FM::runif(&eager, 1024, 4, 0.0, 1.0, 2).materialize(&eager);
+    let reused = &x.sqrt() + &x.square();
+    let report = reused.check(&eager).unwrap();
+    assert!(
+        report.lints.iter().any(|l| l.code == "W004"),
+        "expected W004 with no cache budget, got {:?}",
+        report.lints
+    );
+
+    // Same plan under a budget that holds the leaf: no W004.
+    let budgeted = eager.with_mem_budget(flashr_core::session::MemBudget::new(64 * 1024 * 1024));
+    let x2 = FM::runif(&budgeted, 1024, 4, 0.0, 1.0, 2).materialize(&budgeted);
+    let reused2 = &x2.sqrt() + &x2.square();
+    let report = reused2.check(&budgeted).unwrap();
+    assert!(
+        !report.lints.iter().any(|l| l.code == "W004"),
+        "a sufficient cache budget must silence W004: {:?}",
+        report.lints
+    );
+
+    // Fused mode reads the leaf once per materialization: no W004.
+    let report = reused.check(&ctx).unwrap();
+    assert!(!report.lints.iter().any(|l| l.code == "W004"));
+}

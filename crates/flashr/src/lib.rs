@@ -50,10 +50,10 @@ pub mod prelude {
     pub use flashr_core::block::BlockMat;
     pub use flashr_core::fm::FM;
     pub use flashr_core::ops::{AggOp, BinaryOp, UnaryOp};
-    pub use flashr_core::session::{CtxConfig, ExecMode, FlashCtx, StorageClass};
+    pub use flashr_core::session::{CtxConfig, ExecMode, FlashCtx, MemBudget, MemGovernor, StorageClass};
     pub use flashr_core::stats::ExecStatsSnapshot;
     pub use flashr_core::trace::{PassProfile, ProfileReport, TraceLevel};
     pub use flashr_core::{DType, Scalar};
     pub use flashr_linalg::Dense;
-    pub use flashr_safs::{Safs, SafsConfig, ThrottleCfg};
+    pub use flashr_safs::{CacheCfg, CacheStatsSnapshot, Safs, SafsConfig, ThrottleCfg};
 }

@@ -1,5 +1,6 @@
 //! Runtime configuration for the SAFS substrate.
 
+use crate::cache::CacheCfg;
 use std::path::{Path, PathBuf};
 
 /// Emulated device-bandwidth limit applied per disk.
@@ -46,6 +47,10 @@ pub struct SafsConfig {
     pub dispatch_batch: usize,
     /// Optional bandwidth emulation.
     pub throttle: Option<ThrottleCfg>,
+    /// Optional user-space page cache (SA-cache, paper §3.2.1). `None`
+    /// or a zero capacity leaves every read going straight to the
+    /// device.
+    pub cache: Option<CacheCfg>,
 }
 
 impl SafsConfig {
@@ -57,6 +62,7 @@ impl SafsConfig {
             io_threads_per_disk: 2,
             dispatch_batch: 4,
             throttle: None,
+            cache: None,
         }
     }
 
@@ -67,12 +73,19 @@ impl SafsConfig {
             io_threads_per_disk: 2,
             dispatch_batch: 4,
             throttle: None,
+            cache: None,
         }
     }
 
     /// Builder-style: set the throttle profile.
     pub fn with_throttle(mut self, t: ThrottleCfg) -> Self {
         self.throttle = Some(t);
+        self
+    }
+
+    /// Builder-style: install a page cache at runtime open.
+    pub fn with_cache(mut self, c: CacheCfg) -> Self {
+        self.cache = Some(c);
         self
     }
 

@@ -1,6 +1,7 @@
 //! Striped, partition-granular files.
 
 use crate::aio::{completion, IoOp, IoReq, IoTicket};
+use crate::cache::{CachedFetch, Lookup, PageCache, PendingRead, SharedOutcome};
 use crate::iobuf::IoBuf;
 use crate::error::{SafsError, SafsResult};
 use crate::layout::Striping;
@@ -8,8 +9,11 @@ use crate::runtime::RtInner;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Page-cache identity for each `FileInner`; see `cache::CacheKey`.
+static NEXT_FILE_UID: AtomicU64 = AtomicU64::new(1);
 
 /// A file striped across the disk array, addressed by partition index.
 ///
@@ -23,6 +27,7 @@ pub struct SafsFile {
 
 pub(crate) struct FileInner {
     rt: Arc<RtInner>,
+    uid: u64,
     name: String,
     part_bytes: u64,
     total_bytes: u64,
@@ -71,6 +76,7 @@ impl FileInner {
         Ok(SafsFile {
             inner: Arc::new(FileInner {
                 rt,
+                uid: NEXT_FILE_UID.fetch_add(1, Ordering::Relaxed),
                 name: name.to_string(),
                 part_bytes,
                 total_bytes,
@@ -117,6 +123,7 @@ impl FileInner {
         Ok(SafsFile {
             inner: Arc::new(FileInner {
                 rt,
+                uid: NEXT_FILE_UID.fetch_add(1, Ordering::Relaxed),
                 name: name.to_string(),
                 part_bytes,
                 total_bytes,
@@ -139,6 +146,11 @@ impl FileInner {
 
 impl Drop for FileInner {
     fn drop(&mut self) {
+        // Free any resident cache entries; nothing can read them again
+        // since the uid dies with us.
+        if let Some(cache) = self.rt.page_cache() {
+            cache.invalidate_file(self.uid);
+        }
         if self.delete_on_drop.load(Ordering::Relaxed) && !self.deleted.load(Ordering::Relaxed) {
             self.remove_files();
         }
@@ -225,6 +237,80 @@ impl SafsFile {
         self.read_part_async(part)?.wait()
     }
 
+    /// Cache-aware fetch of partition `part` (the SA-cache front door).
+    ///
+    /// When the runtime has a page cache and the admission filter
+    /// accepts this file, the read is served from — and published to —
+    /// the cache: hits return immediately, concurrent misses of one
+    /// partition coalesce onto a single device read, and sequential
+    /// scans trigger bounded readahead. Without a cache (or for files
+    /// too large to cache) this degrades to a plain
+    /// [`read_part_async`](SafsFile::read_part_async).
+    pub fn fetch_part_cached(&self, part: u64) -> SafsResult<CachedFetch> {
+        let cache = match self.inner.rt.page_cache() {
+            Some(c) => c,
+            None => return Ok(CachedFetch::Direct(self.read_part_async(part)?)),
+        };
+        if !cache.admits(self.inner.total_bytes) {
+            cache.note_bypass();
+            return Ok(CachedFetch::Direct(self.read_part_async(part)?));
+        }
+        self.check_live()?;
+        // Validate the range up-front so no placeholder is ever parked
+        // for a partition that cannot be read.
+        self.part_len(part)?;
+        let key = (self.inner.uid, part);
+        loop {
+            match cache.lookup(key) {
+                Lookup::Hit(buf) => {
+                    self.issue_readahead(&cache, part);
+                    return Ok(CachedFetch::Ready(buf));
+                }
+                Lookup::MustRead => {
+                    let ticket = match self.read_part_async(part) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            cache.abort(key);
+                            return Err(e);
+                        }
+                    };
+                    self.issue_readahead(&cache, part);
+                    return Ok(CachedFetch::Pending(PendingRead::new(cache, key, ticket)));
+                }
+                Lookup::Adopted(ticket) => {
+                    self.issue_readahead(&cache, part);
+                    return Ok(CachedFetch::Pending(PendingRead::new(cache, key, ticket)));
+                }
+                Lookup::Shared => match cache.wait_shared(key) {
+                    SharedOutcome::Ready(buf) => return Ok(CachedFetch::Ready(buf)),
+                    SharedOutcome::Adopted(ticket) => {
+                        return Ok(CachedFetch::Pending(PendingRead::new(cache, key, ticket)))
+                    }
+                    // The owning reader aborted; race for ownership again.
+                    SharedOutcome::Gone => continue,
+                },
+            }
+        }
+    }
+
+    /// Synchronous cache-aware read of partition `part`.
+    pub fn read_part_cached(&self, part: u64) -> SafsResult<Arc<IoBuf>> {
+        self.fetch_part_cached(part)?.wait()
+    }
+
+    /// Feed the sequential-access detector and submit whatever readahead
+    /// it grants; each ticket is parked in the cache for the next reader
+    /// of that partition to adopt.
+    fn issue_readahead(&self, cache: &Arc<PageCache>, part: u64) {
+        for p in cache.plan_readahead(self.inner.uid, part, self.inner.nparts) {
+            let key = (self.inner.uid, p);
+            match self.read_part_async(p) {
+                Ok(ticket) => cache.park_readahead(key, ticket),
+                Err(_) => cache.abort(key),
+            }
+        }
+    }
+
     /// Submit an asynchronous write of partition `part`. `buf` must be
     /// exactly `part_len(part)` bytes; it is handed back by `wait()`.
     pub fn write_part_async(&self, part: u64, buf: IoBuf) -> SafsResult<IoTicket> {
@@ -232,6 +318,11 @@ impl SafsFile {
         let len = self.part_len(part)?;
         if buf.len() != len {
             return Err(SafsError::BadLength { part, expected: len, got: buf.len() });
+        }
+        // The partition is changing; a stale cached copy must not
+        // survive the write.
+        if let Some(cache) = self.inner.rt.page_cache() {
+            cache.invalidate((self.inner.uid, part));
         }
         let loc = self.inner.striping.locate(part);
         let (tx, ticket) = completion();
@@ -257,6 +348,9 @@ impl SafsFile {
     pub fn delete(&self) -> SafsResult<()> {
         self.check_live()?;
         self.inner.deleted.store(true, Ordering::Relaxed);
+        if let Some(cache) = self.inner.rt.page_cache() {
+            cache.invalidate_file(self.inner.uid);
+        }
         self.inner.remove_files();
         Ok(())
     }

@@ -35,6 +35,7 @@
 //! ```
 
 mod aio;
+mod cache;
 mod config;
 mod error;
 mod file;
@@ -45,6 +46,7 @@ mod stats;
 mod throttle;
 
 pub use aio::IoTicket;
+pub use cache::{CacheCfg, CacheStatsSnapshot, CachedFetch, PageCache, PendingRead};
 pub use config::{SafsConfig, ThrottleCfg};
 pub use error::{SafsError, SafsResult};
 pub use file::SafsFile;

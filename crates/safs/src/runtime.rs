@@ -1,6 +1,7 @@
 //! The SAFS runtime: disk set, I/O thread pools and file factory.
 
 use crate::aio::{io_thread_main, IoReq};
+use crate::cache::{CacheCfg, CacheStatsSnapshot, PageCache};
 use crate::config::SafsConfig;
 use crate::error::{SafsError, SafsResult};
 use crate::file::{FileInner, SafsFile};
@@ -31,6 +32,7 @@ pub(crate) struct RtInner {
     threads: Mutex<Vec<JoinHandle<()>>>,
     stats: Arc<IoStats>,
     name_counter: AtomicU64,
+    page_cache: Mutex<Option<Arc<PageCache>>>,
 }
 
 impl Drop for RtInner {
@@ -60,6 +62,10 @@ impl RtInner {
         self.cfg.disks.len()
     }
 
+    /// The installed page cache, if any (cheap clone of an `Arc`).
+    pub(crate) fn page_cache(&self) -> Option<Arc<PageCache>> {
+        self.page_cache.lock().clone()
+    }
 }
 
 /// Deterministic per-file striping seed derived from the file name.
@@ -96,15 +102,42 @@ impl Safs {
                 threads.push(handle);
             }
         }
-        Ok(Safs {
+        let cache_cfg = cfg.cache;
+        let safs = Safs {
             inner: Arc::new(RtInner {
                 cfg,
                 queues,
                 threads: Mutex::new(threads),
                 stats,
                 name_counter: AtomicU64::new(0),
+                page_cache: Mutex::new(None),
             }),
-        })
+        };
+        safs.set_page_cache(cache_cfg);
+        Ok(safs)
+    }
+
+    /// Install (or, with `None` / zero capacity, remove) the user-space
+    /// page cache. Replacing a cache discards its resident data, so this
+    /// is meant for session setup, not steady state.
+    pub fn set_page_cache(&self, cfg: Option<CacheCfg>) {
+        let cache = cfg.filter(|c| c.capacity_bytes > 0).map(|c| Arc::new(PageCache::new(c)));
+        *self.inner.page_cache.lock() = cache;
+    }
+
+    /// Capacity of the installed page cache in bytes (0 when none).
+    pub fn page_cache_capacity(&self) -> u64 {
+        self.inner.page_cache.lock().as_ref().map(|c| c.capacity_bytes()).unwrap_or(0)
+    }
+
+    /// Page-cache counters (all zero when no cache is installed).
+    pub fn cache_stats_snapshot(&self) -> CacheStatsSnapshot {
+        self.inner
+            .page_cache
+            .lock()
+            .as_ref()
+            .map(|c| c.stats_snapshot())
+            .unwrap_or_default()
     }
 
     /// Create a file of `nparts` equally sized partitions.
@@ -143,9 +176,14 @@ impl Safs {
         format!("{prefix}-{}-{n}", std::process::id())
     }
 
-    /// Aggregate I/O statistics since the runtime started.
+    /// Aggregate I/O statistics since the runtime started, including the
+    /// page cache's counters when one is installed.
     pub fn stats_snapshot(&self) -> IoStatsSnapshot {
-        self.inner.stats.snapshot()
+        let mut snap = self.inner.stats.snapshot();
+        if let Some(c) = self.inner.page_cache.lock().as_ref() {
+            snap.cache = c.stats_snapshot();
+        }
+        snap
     }
 
     /// Scheduler hint: how many contiguous partitions to dispatch per batch.
@@ -189,7 +227,13 @@ mod tests {
 
     #[test]
     fn rejects_empty_config() {
-        let cfg = SafsConfig { disks: vec![], io_threads_per_disk: 1, dispatch_batch: 1, throttle: None };
+        let cfg = SafsConfig {
+            disks: vec![],
+            io_threads_per_disk: 1,
+            dispatch_batch: 1,
+            throttle: None,
+            cache: None,
+        };
         assert!(Safs::open(cfg).is_err());
     }
 

@@ -6,6 +6,7 @@
 //! layer landed, what the *shape* of the latency distribution is and how
 //! deep the per-disk queues run.
 
+use crate::cache::CacheStatsSnapshot;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of log2 latency buckets. Bucket `i` counts requests whose
@@ -141,6 +142,10 @@ pub struct IoStatsSnapshot {
     pub cur_queue_depth: u64,
     /// Deepest the queues have run since the runtime started (gauge).
     pub max_queue_depth: u64,
+    /// Page-cache counters (all zero when no cache is installed).
+    /// Populated by [`Safs::stats_snapshot`](crate::Safs::stats_snapshot);
+    /// [`IoStats::snapshot`] itself knows nothing about the cache.
+    pub cache: CacheStatsSnapshot,
 }
 
 impl IoStats {
@@ -182,6 +187,7 @@ impl IoStats {
             write_lat: self.write_lat.snapshot(),
             cur_queue_depth: self.queue_depth.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            cache: CacheStatsSnapshot::default(),
         }
     }
 }
@@ -206,6 +212,7 @@ impl IoStatsSnapshot {
             write_lat: self.write_lat.delta(&later.write_lat),
             cur_queue_depth: later.cur_queue_depth,
             max_queue_depth: later.max_queue_depth,
+            cache: self.cache.delta(&later.cache),
         }
     }
 

@@ -52,6 +52,59 @@ fn main() {
     let _ = ((&(&x + 1.0) * 2.0).abs().sqrt()).sum().value(&ctx);
     stage(&mut stages, "4-op chain sum:", "four_op_chain_sum", t.elapsed());
 
+    // Map-chain fusion probe: the same 4-op elementwise chain
+    // materialized with fusion on and off. The JSON section records the
+    // chunk allocations and bytes each configuration moved plus a
+    // bit-identity check — fused must be strictly lower and identical.
+    let n_chain = 500_000u64;
+    let p_chain = 8usize;
+    let chain_bytes = (n_chain * p_chain as u64 * 8) as f64;
+    let fused_ctx = FlashCtx::in_memory().with_trace(level);
+    let unfused_ctx = fused_ctx.with_fuse_chains(false);
+    let xc = FM::rnorm(&fused_ctx, n_chain, p_chain, 0.0, 1.0, 9).materialize(&fused_ctx);
+    let chain = |x: &FM| (&(x * 2.0) + 1.0).abs().sqrt();
+
+    let before = fused_ctx.stats().snapshot();
+    let t = Instant::now();
+    let vf = chain(&xc).materialize(&fused_ctx).to_vec(&fused_ctx);
+    let d_fused = t.elapsed();
+    let delta_fused = before.delta(&fused_ctx.stats().snapshot());
+
+    let before = unfused_ctx.stats().snapshot();
+    let t = Instant::now();
+    let vu = chain(&xc).materialize(&unfused_ctx).to_vec(&unfused_ctx);
+    let d_unfused = t.elapsed();
+    let delta_unfused = before.delta(&unfused_ctx.stats().snapshot());
+
+    let bit_identical =
+        vf.len() == vu.len() && vf.iter().zip(&vu).all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(bit_identical, "chain fusion changed the data");
+    drop((vf, vu));
+    let g = chain_bytes / d_fused.as_secs_f64() / (1u64 << 30) as f64;
+    println!("map chain (fused):   {d_fused:>12.3?}  ({g:.2} GiB/s)");
+    stages.push(BenchStage::new("map_chain_fused", d_fused, g));
+    let g = chain_bytes / d_unfused.as_secs_f64() / (1u64 << 30) as f64;
+    println!("map chain (unfused): {d_unfused:>12.3?}  ({g:.2} GiB/s)");
+    stages.push(BenchStage::new("map_chain_unfused", d_unfused, g));
+    println!(
+        "map chain chunks:    {} fused vs {} unfused ({} B vs {} B)",
+        delta_fused.node_chunks,
+        delta_unfused.node_chunks,
+        delta_fused.node_chunk_bytes,
+        delta_unfused.node_chunk_bytes
+    );
+    let mc = |d: &ExecStatsSnapshot| {
+        format!(
+            "{{\"node_chunks\":{},\"node_chunk_bytes\":{},\"fused_chains\":{},\"fused_saved_bytes\":{}}}",
+            d.node_chunks, d.node_chunk_bytes, d.fused_chains, d.fused_saved_bytes
+        )
+    };
+    let map_chain_section = format!(
+        "{{\"fused\":{},\"unfused\":{},\"bit_identical\":{bit_identical}}}",
+        mc(&delta_fused),
+        mc(&delta_unfused)
+    );
+
     // Static-analyzer probe: a plan with a duplicated subexpression, run
     // through `FM::check` without executing. The report records node
     // counts before/after the CSE rewrite plus the footprint estimate.
@@ -105,7 +158,11 @@ fn main() {
     flashr::core::trace::cache_json(&cache, &mut cache_section);
 
     let report = ctx.profile_report();
-    let sections = [("analysis", analysis.to_json()), ("cache", cache_section)];
+    let sections = [
+        ("analysis", analysis.to_json()),
+        ("cache", cache_section),
+        ("map_chain", map_chain_section),
+    ];
     let path = save_bench_artifact(
         "perf_probe",
         &bench_artifact_json_sections("perf_probe", &stages, &report, &sections),

@@ -18,11 +18,17 @@
 //!    chained dtype conversions) plus a per-plan memory/I-O footprint
 //!    estimate.
 //!
+//! A fourth layer, **chain compilation** ([`chains`]), runs at
+//! plan-build time rather than here: it needs the plan's consumer
+//! counts and leaf-resolution map, so `exec::plan` invokes it after the
+//! CSE rewrite (gated by [`crate::session::CtxConfig::fuse_chains`]).
+//!
 //! [`analyze`] runs all three; [`crate::exec::materialize`] calls it on
 //! every plan (the rewrite is gated by
 //! [`crate::session::CtxConfig::optimize`] for A/B ablation), and
 //! [`crate::fm::FM::check`] exposes it without executing anything.
 
+pub mod chains;
 pub mod cse;
 pub mod infer;
 pub mod lint;

@@ -57,6 +57,14 @@ impl Chunk {
         Chunk { data: ChunkData::Shared(buf), dtype, rows, cols }
     }
 
+    /// Wrap an owned buffer produced elsewhere (the fused map kernels
+    /// write their output strips straight into a pool buffer). The
+    /// buffer must hold exactly `rows × cols` elements, column-major.
+    pub(crate) fn from_iobuf(buf: IoBuf, dtype: DType, rows: usize, cols: usize) -> Chunk {
+        assert_eq!(buf.len(), rows * cols * dtype.size(), "owned buffer size mismatch");
+        Chunk { data: ChunkData::Owned(buf), dtype, rows, cols }
+    }
+
     /// Build a chunk from typed values (column-major order).
     pub fn from_slice<T: Element>(rows: usize, cols: usize, values: &[T]) -> Chunk {
         assert_eq!(values.len(), rows * cols);

@@ -17,6 +17,7 @@ use crate::mat::{Layout, PartFetch, TasMat};
 use crate::ops;
 use crate::part::pcache_ranges;
 use crate::session::{ExecMode, FlashCtx, StorageClass};
+use crate::stats::ExecStats;
 use crate::trace::{OpProfile, PassProfile, TraceLevel, WorkerProfile};
 use flashr_safs::{IoBuf, IoTicket, SafsFile};
 use parking_lot::Mutex;
@@ -34,8 +35,19 @@ struct TallState {
     parts: Mutex<Vec<Option<Arc<IoBuf>>>>,
 }
 
-/// Per-node accumulated (label, chunks, nanos) for op-level tracing.
-type OpMap = HashMap<u64, (String, u64, u64)>;
+/// Per-node accumulation for op-level tracing. A fused chain root
+/// carries the chain's label, length and saved-intermediate bytes; the
+/// interior nodes it covers never appear (they are never evaluated).
+#[derive(Default)]
+struct OpAgg {
+    label: String,
+    chunks: u64,
+    nanos: u64,
+    chain_len: u64,
+    saved_bytes: u64,
+}
+
+type OpMap = HashMap<u64, OpAgg>;
 
 /// Trace collection shared by one pass's workers. Only allocated when
 /// the context's tracer is at [`TraceLevel::Pass`] or above; when it is
@@ -217,7 +229,14 @@ pub(crate) fn run_labeled(
             .ops
             .into_inner()
             .into_iter()
-            .map(|(node_id, (label, chunks, nanos))| OpProfile { node_id, label, chunks, nanos })
+            .map(|(node_id, a)| OpProfile {
+                node_id,
+                label: a.label,
+                chunks: a.chunks,
+                nanos: a.nanos,
+                chain_len: a.chain_len,
+                saved_bytes: a.saved_bytes,
+            })
             .collect();
         ops.sort_by_key(|o| o.node_id);
         tracer.record_pass(PassProfile {
@@ -275,6 +294,7 @@ fn worker(tid: usize, shared: &Shared<'_>) {
     let mut sink_accs: Vec<SinkAcc> =
         shared.plan.sinks.iter().map(|(_, n)| SinkAcc::new_for(n)).collect();
     let mut pending_writes: Vec<IoTicket> = Vec::new();
+    let max_pending = shared.ctx.cfg().max_pending_writes.max(1);
     let stats = shared.ctx.stats();
     // Tracing is cheap-when-disabled: `wp` is None unless the tracer is
     // at `pass` level, and every `Instant::now()` hides behind it.
@@ -315,11 +335,11 @@ fn worker(tid: usize, shared: &Shared<'_>) {
 
         for (idx, &part) in parts.iter().enumerate() {
             let io_t0 = wp.as_ref().map(|_| Instant::now());
-            // Bound the in-flight writes.
-            if pending_writes.len() > 8 {
-                for t in pending_writes.drain(..) {
-                    t.wait().expect("EM output write failed");
-                }
+            // Bound the in-flight writes: wait for the *oldest* ticket
+            // only, so the remaining slots keep streaming instead of
+            // stalling the worker behind every outstanding write.
+            while pending_writes.len() >= max_pending {
+                pending_writes.remove(0).wait().expect("EM output write failed");
             }
             let mut leaf_bufs: HashMap<u64, Arc<IoBuf>> = HashMap::new();
             for (nid, mat) in &shared.plan.leaves {
@@ -374,8 +394,8 @@ struct PartEnv<'a> {
     part: u64,
     part_rows: usize,
     grow0: u64,
-    /// Per-node (label, chunks, nanos) accumulation; `Some` only at
-    /// `FLASHR_TRACE=op`.
+    stats: &'a ExecStats,
+    /// Per-node accumulation; `Some` only at `FLASHR_TRACE=op`.
     op_trace: Option<&'a RefCell<OpMap>>,
 }
 
@@ -397,6 +417,7 @@ fn process_part(
         .trace
         .filter(|agg| agg.trace_ops)
         .map(|_| RefCell::new(OpMap::new()));
+    let stats = shared.ctx.stats();
     let env = PartEnv {
         plan,
         cums: shared.cums,
@@ -404,9 +425,9 @@ fn process_part(
         part,
         part_rows,
         grow0,
+        stats,
         op_trace: op_cell.as_ref(),
     };
-    let stats = shared.ctx.stats();
     let mut nchunks = 0u64;
 
     // Output partition buffers for tall targets (column-major).
@@ -455,6 +476,48 @@ fn process_part(
         }
 
         for (ti, t) in plan.talls.iter().enumerate() {
+            // A chain root that nothing else reads writes straight into
+            // the tall output buffer — even the root's chunk is skipped.
+            if !memo.contains_key(&(t.node.id, r0, r1))
+                && remaining.get(&t.node.id).copied() == Some(1)
+            {
+                if let Some(chain) = plan.chains.get(&t.node.id) {
+                    let t0 = env.op_trace.map(|_| Instant::now());
+                    let base = eval(&env, &mut memo, &mut remaining, pool, &chain.base, r0, r1);
+                    let auxes: Vec<Rc<Chunk>> = chain
+                        .aux
+                        .iter()
+                        .map(|a| eval(&env, &mut memo, &mut remaining, pool, a, r0, r1))
+                        .collect();
+                    let aux_refs: Vec<&Chunk> = auxes.iter().map(|c| c.as_ref()).collect();
+                    chain.kernel.run_into(
+                        &base,
+                        &aux_refs,
+                        &mut tall_bufs[ti],
+                        part_rows,
+                        r0,
+                        pool,
+                    );
+                    let rows = (r1 - r0) as u64;
+                    let root_bytes = rows * (t.node.ncols * t.node.dtype.size()) as u64;
+                    let saved = rows * chain.saved_bytes_per_row + root_bytes;
+                    stats.add(&stats.fused_chains, 1);
+                    stats.add(&stats.fused_saved_bytes, saved);
+                    if let (Some(cell), Some(t0)) = (env.op_trace, t0) {
+                        let mut ops = cell.borrow_mut();
+                        let e = ops.entry(t.node.id).or_insert_with(|| OpAgg {
+                            label: chain.label.clone(),
+                            ..OpAgg::default()
+                        });
+                        e.chunks += 1;
+                        e.nanos += t0.elapsed().as_nanos() as u64;
+                        e.chain_len = chain.len as u64;
+                        e.saved_bytes += saved;
+                    }
+                    consume(&mut memo, &mut remaining, pool, &t.node, r0, r1);
+                    continue;
+                }
+            }
             let c = eval(&env, &mut memo, &mut remaining, pool, &t.node, r0, r1);
             write_rows(&mut tall_bufs[ti], t.node.dtype, part_rows, r0, &c);
             drop(c);
@@ -501,10 +564,12 @@ fn process_part(
     // Merge this partition's op timings into the pass aggregate.
     if let (Some(agg), Some(cell)) = (shared.trace, op_cell) {
         let mut ops = agg.ops.lock();
-        for (id, (label, chunks, nanos)) in cell.into_inner() {
-            let e = ops.entry(id).or_insert_with(|| (label, 0, 0));
-            e.1 += chunks;
-            e.2 += nanos;
+        for (id, a) in cell.into_inner() {
+            let e = ops.entry(id).or_insert_with(|| OpAgg { label: a.label, ..OpAgg::default() });
+            e.chunks += a.chunks;
+            e.nanos += a.nanos;
+            e.chain_len = e.chain_len.max(a.chain_len);
+            e.saved_bytes += a.saved_bytes;
         }
     }
 
@@ -514,6 +579,12 @@ fn process_part(
 /// Copy a chunk into a column-major partition buffer at row offset `r0`.
 fn write_rows(buf: &mut IoBuf, dtype: crate::dtype::DType, part_rows: usize, r0: usize, chunk: &Chunk) {
     let rows = chunk.rows();
+    // A chunk covering the whole partition has the destination's exact
+    // column-major layout: one flat copy instead of a copy per column.
+    if r0 == 0 && rows == part_rows {
+        buf.as_mut_bytes().copy_from_slice(chunk.as_bytes());
+        return;
+    }
     crate::dispatch!(dtype, T, {
         let dst = buf.typed_mut::<T>();
         for c in 0..chunk.cols() {
@@ -569,11 +640,24 @@ fn eval(
     }
     let t0 = env.op_trace.map(|_| Instant::now());
     let chunk = eval_uncached(env, memo, remaining, pool, node, r0, r1);
+    env.stats.add(&env.stats.node_chunks, 1);
+    env.stats.add(
+        &env.stats.node_chunk_bytes,
+        (chunk.rows() * chunk.cols() * chunk.dtype().size()) as u64,
+    );
     if let (Some(cell), Some(t0)) = (env.op_trace, t0) {
         let mut ops = cell.borrow_mut();
-        let e = ops.entry(node.id).or_insert_with(|| (node.label(), 0, 0));
-        e.1 += 1;
-        e.2 += t0.elapsed().as_nanos() as u64;
+        let chain = env.plan.chains.get(&node.id);
+        let e = ops.entry(node.id).or_insert_with(|| OpAgg {
+            label: chain.map_or_else(|| node.label(), |c| c.label.clone()),
+            ..OpAgg::default()
+        });
+        e.chunks += 1;
+        e.nanos += t0.elapsed().as_nanos() as u64;
+        if let Some(c) = chain {
+            e.chain_len = c.len as u64;
+            e.saved_bytes += (r1 - r0) as u64 * c.saved_bytes_per_row;
+        }
     }
     chunk
 }
@@ -604,6 +688,25 @@ fn eval_uncached(
         };
         memo.insert(key, chunk.clone());
         return chunk;
+    }
+
+    // A compiled map chain: evaluate the base and aux inputs, then run
+    // the whole fused program in one strip-mined sweep. The chain's
+    // interior nodes are never evaluated and never allocate chunks.
+    if let Some(chain) = env.plan.chains.get(&node.id) {
+        let base = eval(env, memo, remaining, pool, &chain.base, r0, r1);
+        let auxes: Vec<Rc<Chunk>> = chain
+            .aux
+            .iter()
+            .map(|a| eval(env, memo, remaining, pool, a, r0, r1))
+            .collect();
+        let aux_refs: Vec<&Chunk> = auxes.iter().map(|c| c.as_ref()).collect();
+        let out = Rc::new(chain.kernel.run(&base, &aux_refs, pool));
+        env.stats.add(&env.stats.fused_chains, 1);
+        env.stats
+            .add(&env.stats.fused_saved_bytes, (r1 - r0) as u64 * chain.saved_bytes_per_row);
+        memo.insert(key, out.clone());
+        return out;
     }
 
     let chunk = match &node.kind {

@@ -1,12 +1,13 @@
 //! Materialization planning: DAG discovery, validation, output layout and
 //! Pcache sizing.
 
+use crate::analysis::chains::{self, CompiledChain};
 use crate::dag::{Node, NodeKind};
 use crate::exec::{Target, TargetStorage};
 use crate::mat::TasMat;
 use crate::part::{pcache_rows, Partitioner};
 use crate::session::{ExecMode, FlashCtx, StorageClass};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// A tall matrix the pass must produce.
@@ -39,8 +40,15 @@ pub struct Plan {
     pub resolved: HashMap<u64, TasMat>,
     /// How many consumers read each node's Pcache chunk within one range
     /// (paper §3.5.1: the per-partition use counter driving buffer
-    /// recycling). Counts DAG parents plus target/sink reads.
+    /// recycling). Counts DAG parents plus target/sink reads. Interior
+    /// nodes of compiled chains are removed — they never materialize.
     pub consumers: HashMap<u64, usize>,
+    /// Compiled map chains, root node id → kernel + inputs (empty when
+    /// `CtxConfig::fuse_chains` is off).
+    pub chains: HashMap<u64, CompiledChain>,
+    /// Interior node ids of all compiled chains: skipped by the memo,
+    /// absent from `consumers`, folded into their root's trace profile.
+    pub fused_interior: HashSet<u64>,
     /// Distinct DAG nodes the pass covers (including leaves).
     pub nnodes: usize,
 }
@@ -74,6 +82,7 @@ impl Plan {
         let mut row_bytes_total = 0usize;
 
         // Iterative DFS from all target roots.
+        let mut reach: Vec<Arc<Node>> = Vec::new();
         let mut stack: Vec<Arc<Node>> = Vec::new();
         for (slot, t) in targets.iter().enumerate() {
             match t {
@@ -106,6 +115,7 @@ impl Plan {
                 continue;
             }
             visited.insert(node.id, ());
+            reach.push(node.clone());
 
             let is_resolved_leaf = resolved.contains_key(&node.id) || node.cached().is_some();
 
@@ -185,6 +195,23 @@ impl Plan {
             }
         }
 
+        // Chain compilation (tentpole of the map-chain compiler): find
+        // maximal single-consumer map chains and compile each into a
+        // strip-mined kernel. Interior nodes lose their consumer
+        // entries — nothing ever materializes or recycles them. Note
+        // the Pcache step is still sized over *all* tall nodes
+        // (including interior ones): fusion must not change chunking,
+        // so `fuse_chains` on/off stays bit-comparable for sinks.
+        let mut chain_set = chains::ChainSet::default();
+        if ctx.cfg().fuse_chains {
+            let is_mat =
+                |n: &Node| resolved.contains_key(&n.id) || n.is_effective_leaf();
+            chain_set = chains::discover(&reach, &consumers, &is_mat);
+            for id in &chain_set.interior {
+                consumers.remove(id);
+            }
+        }
+
         let nrows = tall_nrows.expect("DAG contains no tall matrices");
         let parter = parter.unwrap_or_else(|| ctx.parter());
         let nparts = parter.nparts(nrows);
@@ -208,6 +235,8 @@ impl Plan {
             cum_nodes,
             resolved: resolved.clone(),
             consumers,
+            chains: chain_set.chains,
+            fused_interior: chain_set.interior,
             nnodes: visited.len(),
         }
     }
@@ -263,6 +292,18 @@ impl Plan {
             self.sinks.len(),
             self.talls.len(),
         ));
+        let mut roots: Vec<&u64> = self.chains.keys().collect();
+        roots.sort();
+        for root in roots {
+            let c = &self.chains[root];
+            out.push_str(&format!(
+                "fused at n{root}: {} ({} ops, {} interior, saves {} B/row)\n",
+                c.label,
+                c.len,
+                c.interior.len(),
+                c.saved_bytes_per_row
+            ));
+        }
         fn walk(plan: &Plan, node: &Arc<Node>, depth: usize, out: &mut String) {
             out.push_str(&"  ".repeat(depth));
             out.push_str(&plan.describe(node));

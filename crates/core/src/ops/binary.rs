@@ -39,6 +39,36 @@ pub enum BinaryOp {
 }
 
 impl BinaryOp {
+    /// Every variant in declaration (discriminant) order; keeps
+    /// [`BinaryOp::from_u8`] in sync with `as u8` casts.
+    pub(crate) const ALL: [BinaryOp; 17] = [
+        BinaryOp::Add,
+        BinaryOp::Sub,
+        BinaryOp::Mul,
+        BinaryOp::Div,
+        BinaryOp::Rem,
+        BinaryOp::Pow,
+        BinaryOp::Min,
+        BinaryOp::Max,
+        BinaryOp::Eq,
+        BinaryOp::Ne,
+        BinaryOp::Lt,
+        BinaryOp::Le,
+        BinaryOp::Gt,
+        BinaryOp::Ge,
+        BinaryOp::And,
+        BinaryOp::Or,
+        BinaryOp::EuclidSq,
+    ];
+
+    /// Inverse of `op as u8`. Used by the monomorphized column kernels:
+    /// with `OP` a const generic, the match below constant-folds and the
+    /// inner loops compile down to the bare element function.
+    #[inline(always)]
+    pub(crate) fn from_u8(v: u8) -> BinaryOp {
+        BinaryOp::ALL[v as usize]
+    }
+
     /// Whether the op returns a logical (U8) result.
     pub fn is_predicate(self) -> bool {
         matches!(
@@ -64,7 +94,7 @@ impl BinaryOp {
     }
 
     #[inline(always)]
-    fn eval<T: Element>(self, a: T, b: T) -> T {
+    pub(crate) fn eval<T: Element>(self, a: T, b: T) -> T {
         match self {
             BinaryOp::Add => a.add(b),
             BinaryOp::Sub => a.sub(b),
@@ -83,7 +113,7 @@ impl BinaryOp {
     }
 
     #[inline(always)]
-    fn eval_pred<T: Element>(self, a: T, b: T) -> u8 {
+    pub(crate) fn eval_pred<T: Element>(self, a: T, b: T) -> u8 {
         let t = T::zero();
         match self {
             BinaryOp::Eq => u8::from(a == b),
@@ -110,7 +140,9 @@ pub enum BinOperand<'a> {
     RowVec(&'a [f64]),
 }
 
-enum ColSrc<'a, T> {
+/// One column's worth of right-hand operand, resolved to either a
+/// slice (chunk operand) or a per-column constant (scalar / row vector).
+pub(crate) enum ColSrc<'a, T> {
     Slice(&'a [T]),
     Const(T),
 }
@@ -124,6 +156,122 @@ fn col_src<'a, T: Element>(b: &BinOperand<'a>, col: usize, a_rows: usize) -> Col
         }
         BinOperand::Scalar(s) => ColSrc::Const(T::from_scalar(*s)),
         BinOperand::RowVec(v) => ColSrc::Const(T::from_f64(v[col])),
+    }
+}
+
+/// One whole arithmetic column, monomorphized over `(OP, T)`: the
+/// `BinaryOp::from_u8` match constant-folds under the const generic, so
+/// the `for` loops contain zero enum dispatch. The `swapped` branch is
+/// resolved once per column, outside the element loop.
+pub(crate) fn arith_col<T: Element, const OP: u8>(
+    dst: &mut [T],
+    a: &[T],
+    b: ColSrc<'_, T>,
+    swapped: bool,
+) {
+    let op = BinaryOp::from_u8(OP);
+    match b {
+        ColSrc::Slice(bcol) => {
+            if swapped {
+                for ((d, &av), &bv) in dst.iter_mut().zip(a).zip(bcol) {
+                    *d = op.eval(bv, av);
+                }
+            } else {
+                for ((d, &av), &bv) in dst.iter_mut().zip(a).zip(bcol) {
+                    *d = op.eval(av, bv);
+                }
+            }
+        }
+        ColSrc::Const(bv) => {
+            if swapped {
+                for (d, &av) in dst.iter_mut().zip(a) {
+                    *d = op.eval(bv, av);
+                }
+            } else {
+                for (d, &av) in dst.iter_mut().zip(a) {
+                    *d = op.eval(av, bv);
+                }
+            }
+        }
+    }
+}
+
+/// Predicate twin of [`arith_col`]: writes the logical (U8) column.
+pub(crate) fn pred_col<T: Element, const OP: u8>(
+    dst: &mut [u8],
+    a: &[T],
+    b: ColSrc<'_, T>,
+    swapped: bool,
+) {
+    let op = BinaryOp::from_u8(OP);
+    match b {
+        ColSrc::Slice(bcol) => {
+            if swapped {
+                for ((d, &av), &bv) in dst.iter_mut().zip(a).zip(bcol) {
+                    *d = op.eval_pred(bv, av);
+                }
+            } else {
+                for ((d, &av), &bv) in dst.iter_mut().zip(a).zip(bcol) {
+                    *d = op.eval_pred(av, bv);
+                }
+            }
+        }
+        ColSrc::Const(bv) => {
+            if swapped {
+                for (d, &av) in dst.iter_mut().zip(a) {
+                    *d = op.eval_pred(bv, av);
+                }
+            } else {
+                for (d, &av) in dst.iter_mut().zip(a) {
+                    *d = op.eval_pred(av, bv);
+                }
+            }
+        }
+    }
+}
+
+pub(crate) type ArithColFn<T> = fn(&mut [T], &[T], ColSrc<'_, T>, bool);
+pub(crate) type PredColFn<T> = fn(&mut [u8], &[T], ColSrc<'_, T>, bool);
+
+/// Resolve an arithmetic op to its monomorphized column kernel once, so
+/// callers dispatch per column (or per strip) instead of per element.
+pub(crate) fn arith_col_fn<T: Element>(op: BinaryOp) -> ArithColFn<T> {
+    macro_rules! arm {
+        ($v:ident) => {
+            arith_col::<T, { BinaryOp::$v as u8 }>
+        };
+    }
+    match op {
+        BinaryOp::Add => arm!(Add),
+        BinaryOp::Sub => arm!(Sub),
+        BinaryOp::Mul => arm!(Mul),
+        BinaryOp::Div => arm!(Div),
+        BinaryOp::Rem => arm!(Rem),
+        BinaryOp::Pow => arm!(Pow),
+        BinaryOp::Min => arm!(Min),
+        BinaryOp::Max => arm!(Max),
+        BinaryOp::EuclidSq => arm!(EuclidSq),
+        _ => unreachable!("predicate ops use pred_col_fn"),
+    }
+}
+
+/// Predicate twin of [`arith_col_fn`].
+pub(crate) fn pred_col_fn<T: Element>(op: BinaryOp) -> PredColFn<T> {
+    macro_rules! arm {
+        ($v:ident) => {
+            pred_col::<T, { BinaryOp::$v as u8 }>
+        };
+    }
+    match op {
+        BinaryOp::Eq => arm!(Eq),
+        BinaryOp::Ne => arm!(Ne),
+        BinaryOp::Lt => arm!(Lt),
+        BinaryOp::Le => arm!(Le),
+        BinaryOp::Gt => arm!(Gt),
+        BinaryOp::Ge => arm!(Ge),
+        BinaryOp::And => arm!(And),
+        BinaryOp::Or => arm!(Or),
+        _ => unreachable!("arithmetic ops use arith_col_fn"),
     }
 }
 
@@ -154,30 +302,11 @@ pub fn apply_binary(
     if op.is_predicate() {
         let mut out = Chunk::alloc(DType::U8, rows, cols, pool);
         crate::dispatch!(a.dtype(), T, {
+            let f = pred_col_fn::<T>(op);
             for c in 0..cols {
                 let acol = a.col::<T>(c);
                 let dst_all = out.slice_mut::<u8>();
-                let dst = &mut dst_all[c * rows..(c + 1) * rows];
-                match col_src::<T>(&b, c, rows) {
-                    ColSrc::Slice(bcol) => {
-                        for i in 0..rows {
-                            dst[i] = if swapped {
-                                op.eval_pred(bcol[i], acol[i])
-                            } else {
-                                op.eval_pred(acol[i], bcol[i])
-                            };
-                        }
-                    }
-                    ColSrc::Const(bv) => {
-                        for i in 0..rows {
-                            dst[i] = if swapped {
-                                op.eval_pred(bv, acol[i])
-                            } else {
-                                op.eval_pred(acol[i], bv)
-                            };
-                        }
-                    }
-                }
+                f(&mut dst_all[c * rows..(c + 1) * rows], acol, col_src::<T>(&b, c, rows), swapped);
             }
         });
         return out;
@@ -185,34 +314,11 @@ pub fn apply_binary(
 
     let mut out = Chunk::alloc(a.dtype(), rows, cols, pool);
     crate::dispatch!(a.dtype(), T, {
+        let f = arith_col_fn::<T>(op);
         for c in 0..cols {
             let acol = a.col::<T>(c);
             let dst_all = out.slice_mut::<T>();
-            let dst = &mut dst_all[c * rows..(c + 1) * rows];
-            match col_src::<T>(&b, c, rows) {
-                ColSrc::Slice(bcol) => {
-                    if swapped {
-                        for i in 0..rows {
-                            dst[i] = op.eval(bcol[i], acol[i]);
-                        }
-                    } else {
-                        for i in 0..rows {
-                            dst[i] = op.eval(acol[i], bcol[i]);
-                        }
-                    }
-                }
-                ColSrc::Const(bv) => {
-                    if swapped {
-                        for i in 0..rows {
-                            dst[i] = op.eval(bv, acol[i]);
-                        }
-                    } else {
-                        for i in 0..rows {
-                            dst[i] = op.eval(acol[i], bv);
-                        }
-                    }
-                }
-            }
+            f(&mut dst_all[c * rows..(c + 1) * rows], acol, col_src::<T>(&b, c, rows), swapped);
         }
     });
     out

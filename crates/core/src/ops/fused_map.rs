@@ -1,0 +1,549 @@
+//! Strip-mined fused kernels for element-wise map chains.
+//!
+//! The fused engine historically *interpreted* the DAG: every
+//! element-wise node allocated a full intermediate [`Chunk`], so a chain
+//! like `sqrt((x - mu) / sd)^2` moved 4× the bytes it needed to. This
+//! module is the compiled alternative (paper §3.4–3.5): the plan layer
+//! discovers maximal single-consumer chains of `Map` nodes
+//! ([`crate::analysis::chains`]) and compiles each into a
+//! [`FusedMapKernel`] — a short program of micro-ops ([`ChainLink`]s)
+//! executed strip-mined over each Pcache chunk. A strip is
+//! [`STRIP_ELEMS`] elements (8 KiB at f64), small enough that the
+//! ping-pong scratch buffers stay in L1 while every op of the chain runs
+//! over it; only the final result is written back, producing **one**
+//! output chunk per chain instead of one per node.
+//!
+//! Dispatch discipline: each link is resolved **once at compile time**
+//! to a monomorphized step function over `(op, dtype)` (const-generic
+//! `OP`, concrete element type via [`crate::dispatch!`]), collected into
+//! a function-pointer row. The strip loop calls through bare `fn`
+//! pointers; inner loops contain zero enum matching. The step bodies
+//! reuse the interpreter's own element kernels
+//! ([`crate::ops::unary::unary_typed`], [`crate::ops::binary::arith_col`]
+//! / [`pred_col`], [`crate::ops::misc::cast_slice`]), so fused results
+//! are bit-identical to the unfused path by construction.
+
+use crate::chunk::{BufPool, Chunk};
+use crate::dtype::{DType, Scalar};
+use crate::element::Element;
+use crate::ops::binary::{arith_col, pred_col, BinaryOp, ColSrc};
+use crate::ops::misc::cast_slice;
+use crate::ops::unary::{unary_typed, UnaryOp};
+use flashr_safs::IoBuf;
+use std::sync::Arc;
+
+/// Elements per strip. 1024 × 8 B = 8 KiB at f64 — two scratch strips
+/// plus the source strip fit comfortably in a 32 KiB L1d.
+pub const STRIP_ELEMS: usize = 1024;
+
+/// The non-spine operand of a fused binary link.
+#[derive(Debug, Clone)]
+pub enum ChainOperand {
+    /// A scalar constant (kept as the original [`Scalar`] so integer
+    /// chains convert exactly as the interpreter does).
+    Scalar(Scalar),
+    /// A per-column constant row vector (`sweep`).
+    RowVec(Arc<Vec<f64>>),
+    /// Another chunk, resolved by the executor: `aux` indexes the
+    /// kernel's auxiliary-input row; `recycle` marks a one-column
+    /// operand broadcast across columns (R's vector recycling).
+    Chunk { aux: usize, recycle: bool },
+}
+
+/// What one fused link computes.
+#[derive(Debug, Clone)]
+pub enum ChainOpSpec {
+    Unary(UnaryOp),
+    /// Convert `in_dtype` → `out_dtype` (the link dtypes carry the pair).
+    Cast,
+    Binary { op: BinaryOp, swapped: bool, operand: ChainOperand },
+}
+
+/// One micro-op of a chain program, with its dtype transition.
+#[derive(Debug, Clone)]
+pub struct ChainLink {
+    pub op: ChainOpSpec,
+    pub in_dtype: DType,
+    pub out_dtype: DType,
+}
+
+/// Per-strip constant operand, resolved per column by the executor.
+#[derive(Clone, Copy)]
+enum KonstVal {
+    None,
+    /// Scalar operand: converted via `T::from_scalar`, like the
+    /// interpreter's `BinOperand::Scalar` path.
+    Scalar(Scalar),
+    /// Row-vector operand for the current column: converted via
+    /// `T::from_f64`, like the interpreter's `BinOperand::RowVec` path.
+    F64(f64),
+}
+
+/// Everything a step function may need besides the scratch strips.
+struct StripCtx<'a> {
+    konst: KonstVal,
+    swapped: bool,
+    aux: Option<&'a Chunk>,
+    aux_col: usize,
+    /// Strip start row within the chunk (offsets into aux columns).
+    s0: usize,
+}
+
+/// A monomorphized micro-op: read `len` elements from `src`, write `len`
+/// to `dst`. Buffers are [`STRIP_ELEMS`]` * 8` bytes, so every element
+/// size divides them evenly.
+type StepFn = fn(&StripCtx<'_>, &IoBuf, &mut IoBuf, usize);
+
+/// Per-kernel constant storage for one step.
+#[derive(Clone)]
+enum Konst {
+    None,
+    Scalar(Scalar),
+    RowVec(Arc<Vec<f64>>),
+}
+
+struct Step {
+    f: StepFn,
+    konst: Konst,
+    aux: Option<usize>,
+    recycle: bool,
+    swapped: bool,
+}
+
+/// A compiled chain: a function-pointer row executed strip-mined.
+pub struct FusedMapKernel {
+    steps: Vec<Step>,
+    in_dtype: DType,
+    out_dtype: DType,
+}
+
+// ------------------------------------------------------------- step fns
+
+fn operand<'a, T: Element>(ctx: &StripCtx<'a>, len: usize) -> ColSrc<'a, T> {
+    match ctx.aux {
+        Some(ch) => ColSrc::Slice(&ch.col::<T>(ctx.aux_col)[ctx.s0..ctx.s0 + len]),
+        None => ColSrc::Const(match ctx.konst {
+            KonstVal::Scalar(s) => T::from_scalar(s),
+            KonstVal::F64(x) => T::from_f64(x),
+            KonstVal::None => unreachable!("binary step without an operand"),
+        }),
+    }
+}
+
+fn step_unary<T: Element, const OP: u8>(
+    _ctx: &StripCtx<'_>,
+    src: &IoBuf,
+    dst: &mut IoBuf,
+    len: usize,
+) {
+    unary_typed::<T>(UnaryOp::from_u8(OP), &src.typed::<T>()[..len], &mut dst.typed_mut::<T>()[..len]);
+}
+
+/// `Not` is the one unary op that changes dtype (`T` → U8); mirrors the
+/// special case in [`crate::ops::unary::apply_unary`].
+fn step_not<T: Element>(_ctx: &StripCtx<'_>, src: &IoBuf, dst: &mut IoBuf, len: usize) {
+    let s = &src.typed::<T>()[..len];
+    let d = &mut dst.typed_mut::<u8>()[..len];
+    for (d, s) in d.iter_mut().zip(s) {
+        *d = u8::from(*s == T::zero());
+    }
+}
+
+fn step_cast<S: Element, D: Element>(_ctx: &StripCtx<'_>, src: &IoBuf, dst: &mut IoBuf, len: usize) {
+    cast_slice::<S, D>(&src.typed::<S>()[..len], &mut dst.typed_mut::<D>()[..len]);
+}
+
+fn step_arith<T: Element, const OP: u8>(
+    ctx: &StripCtx<'_>,
+    src: &IoBuf,
+    dst: &mut IoBuf,
+    len: usize,
+) {
+    let b = operand::<T>(ctx, len);
+    arith_col::<T, OP>(&mut dst.typed_mut::<T>()[..len], &src.typed::<T>()[..len], b, ctx.swapped);
+}
+
+fn step_pred<T: Element, const OP: u8>(
+    ctx: &StripCtx<'_>,
+    src: &IoBuf,
+    dst: &mut IoBuf,
+    len: usize,
+) {
+    let b = operand::<T>(ctx, len);
+    pred_col::<T, OP>(&mut dst.typed_mut::<u8>()[..len], &src.typed::<T>()[..len], b, ctx.swapped);
+}
+
+// ---------------------------------------------------- step fn builders
+
+fn unary_step_fn(op: UnaryOp, dtype: DType) -> StepFn {
+    crate::dispatch!(dtype, T, {
+        macro_rules! arm {
+            ($v:ident) => {
+                step_unary::<T, { UnaryOp::$v as u8 }>
+            };
+        }
+        let f: StepFn = match op {
+            UnaryOp::Neg => arm!(Neg),
+            UnaryOp::Abs => arm!(Abs),
+            UnaryOp::Sqrt => arm!(Sqrt),
+            UnaryOp::Exp => arm!(Exp),
+            UnaryOp::Ln => arm!(Ln),
+            UnaryOp::Log2 => arm!(Log2),
+            UnaryOp::Log10 => arm!(Log10),
+            UnaryOp::Log1p => arm!(Log1p),
+            UnaryOp::Floor => arm!(Floor),
+            UnaryOp::Ceil => arm!(Ceil),
+            UnaryOp::Round => arm!(Round),
+            UnaryOp::Sign => arm!(Sign),
+            UnaryOp::Recip => arm!(Recip),
+            UnaryOp::Square => arm!(Square),
+            UnaryOp::Sigmoid => arm!(Sigmoid),
+            UnaryOp::Not => step_not::<T>,
+        };
+        f
+    })
+}
+
+fn cast_step_fn(from: DType, to: DType) -> StepFn {
+    crate::dispatch!(from, S, {
+        crate::dispatch!(to, D, {
+            let f: StepFn = step_cast::<S, D>;
+            f
+        })
+    })
+}
+
+fn arith_step_fn(op: BinaryOp, dtype: DType) -> StepFn {
+    crate::dispatch!(dtype, T, {
+        macro_rules! arm {
+            ($v:ident) => {
+                step_arith::<T, { BinaryOp::$v as u8 }>
+            };
+        }
+        let f: StepFn = match op {
+            BinaryOp::Add => arm!(Add),
+            BinaryOp::Sub => arm!(Sub),
+            BinaryOp::Mul => arm!(Mul),
+            BinaryOp::Div => arm!(Div),
+            BinaryOp::Rem => arm!(Rem),
+            BinaryOp::Pow => arm!(Pow),
+            BinaryOp::Min => arm!(Min),
+            BinaryOp::Max => arm!(Max),
+            BinaryOp::EuclidSq => arm!(EuclidSq),
+            _ => unreachable!("predicates use pred_step_fn"),
+        };
+        f
+    })
+}
+
+fn pred_step_fn(op: BinaryOp, dtype: DType) -> StepFn {
+    crate::dispatch!(dtype, T, {
+        macro_rules! arm {
+            ($v:ident) => {
+                step_pred::<T, { BinaryOp::$v as u8 }>
+            };
+        }
+        let f: StepFn = match op {
+            BinaryOp::Eq => arm!(Eq),
+            BinaryOp::Ne => arm!(Ne),
+            BinaryOp::Lt => arm!(Lt),
+            BinaryOp::Le => arm!(Le),
+            BinaryOp::Gt => arm!(Gt),
+            BinaryOp::Ge => arm!(Ge),
+            BinaryOp::And => arm!(And),
+            BinaryOp::Or => arm!(Or),
+            _ => unreachable!("arithmetic ops use arith_step_fn"),
+        };
+        f
+    })
+}
+
+// ------------------------------------------------------------ compiler
+
+impl FusedMapKernel {
+    /// Compile a chain program (links ordered base → root) into a
+    /// function-pointer row. All `(op, dtype)` resolution happens here.
+    pub fn compile(links: &[ChainLink]) -> FusedMapKernel {
+        assert!(!links.is_empty(), "empty chain");
+        let mut steps = Vec::with_capacity(links.len());
+        for (i, l) in links.iter().enumerate() {
+            if i > 0 {
+                assert_eq!(links[i - 1].out_dtype, l.in_dtype, "chain dtype mismatch");
+            }
+            let step = match &l.op {
+                ChainOpSpec::Unary(u) => {
+                    debug_assert_eq!(l.out_dtype, u.out_dtype(l.in_dtype));
+                    Step {
+                        f: unary_step_fn(*u, l.in_dtype),
+                        konst: Konst::None,
+                        aux: None,
+                        recycle: false,
+                        swapped: false,
+                    }
+                }
+                ChainOpSpec::Cast => {
+                    assert_ne!(l.in_dtype, l.out_dtype, "identity cast in chain");
+                    Step {
+                        f: cast_step_fn(l.in_dtype, l.out_dtype),
+                        konst: Konst::None,
+                        aux: None,
+                        recycle: false,
+                        swapped: false,
+                    }
+                }
+                ChainOpSpec::Binary { op, swapped, operand } => {
+                    debug_assert_eq!(l.out_dtype, op.out_dtype(l.in_dtype));
+                    let f = if op.is_predicate() {
+                        pred_step_fn(*op, l.in_dtype)
+                    } else {
+                        arith_step_fn(*op, l.in_dtype)
+                    };
+                    let (konst, aux, recycle) = match operand {
+                        ChainOperand::Scalar(s) => (Konst::Scalar(*s), None, false),
+                        ChainOperand::RowVec(v) => (Konst::RowVec(v.clone()), None, false),
+                        ChainOperand::Chunk { aux, recycle } => (Konst::None, Some(*aux), *recycle),
+                    };
+                    Step { f, konst, aux, recycle, swapped: *swapped }
+                }
+            };
+            steps.push(step);
+        }
+        FusedMapKernel {
+            steps,
+            in_dtype: links[0].in_dtype,
+            out_dtype: links.last().unwrap().out_dtype,
+        }
+    }
+
+    /// Number of fused micro-ops.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// A compiled kernel is never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Dtype of the chain's result.
+    pub fn out_dtype(&self) -> DType {
+        self.out_dtype
+    }
+
+    /// Run the whole chain over `base`, producing the root's chunk.
+    pub fn run(&self, base: &Chunk, auxes: &[&Chunk], pool: &mut BufPool) -> Chunk {
+        let (rows, cols) = (base.rows(), base.cols());
+        let mut out = pool.take(rows * cols * self.out_dtype.size());
+        self.run_into(base, auxes, &mut out, rows, 0, pool);
+        Chunk::from_iobuf(out, self.out_dtype, rows, cols)
+    }
+
+    /// Run the chain writing straight into a column-major destination
+    /// buffer with column stride `col_stride` rows, starting at row
+    /// `row_off` — lets the executor hand a chain the tall output buffer
+    /// as its destination, skipping the root chunk entirely.
+    pub fn run_into(
+        &self,
+        base: &Chunk,
+        auxes: &[&Chunk],
+        dst: &mut IoBuf,
+        col_stride: usize,
+        row_off: usize,
+        pool: &mut BufPool,
+    ) {
+        debug_assert_eq!(base.dtype(), self.in_dtype, "chain base dtype mismatch");
+        let (rows, cols) = (base.rows(), base.cols());
+        debug_assert!(row_off + rows <= col_stride);
+        let in_esz = self.in_dtype.size();
+        let out_esz = self.out_dtype.size();
+        // Scratch strips are sized in *bytes* for the widest element, so
+        // every dtype along the chain views them evenly.
+        let mut a = pool.take(STRIP_ELEMS * 8);
+        let mut b = pool.take(STRIP_ELEMS * 8);
+        let base_bytes = base.as_bytes();
+        let dst_bytes = dst.as_mut_bytes();
+        for c in 0..cols {
+            let mut s0 = 0usize;
+            while s0 < rows {
+                let len = STRIP_ELEMS.min(rows - s0);
+                a.as_mut_bytes()[..len * in_esz].copy_from_slice(
+                    &base_bytes[(c * rows + s0) * in_esz..(c * rows + s0 + len) * in_esz],
+                );
+                for step in &self.steps {
+                    let ctx = StripCtx {
+                        konst: match &step.konst {
+                            Konst::None => KonstVal::None,
+                            Konst::Scalar(s) => KonstVal::Scalar(*s),
+                            Konst::RowVec(v) => KonstVal::F64(v[c]),
+                        },
+                        swapped: step.swapped,
+                        aux: step.aux.map(|i| auxes[i]),
+                        aux_col: if step.recycle { 0 } else { c },
+                        s0,
+                    };
+                    (step.f)(&ctx, &a, &mut b, len);
+                    std::mem::swap(&mut a, &mut b);
+                }
+                let d0 = (c * col_stride + row_off + s0) * out_esz;
+                dst_bytes[d0..d0 + len * out_esz].copy_from_slice(&a.as_bytes()[..len * out_esz]);
+                s0 += len;
+            }
+        }
+        pool.put(a);
+        pool.put(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{apply_binary, apply_unary, cast_chunk, BinOperand};
+
+    fn f64_chunk(rows: usize, cols: usize) -> Chunk {
+        let vals: Vec<f64> = (0..rows * cols).map(|i| (i as f64) * 0.37 - 40.0).collect();
+        Chunk::from_slice::<f64>(rows, cols, &vals)
+    }
+
+    #[test]
+    fn chain_matches_interpreter_bit_for_bit() {
+        let mut pool = BufPool::new();
+        // sqrt(abs(x * 2.5 + 1.0)), 3000 rows so strips split mid-column.
+        let x = f64_chunk(3000, 3);
+        let links = vec![
+            ChainLink {
+                op: ChainOpSpec::Binary {
+                    op: BinaryOp::Mul,
+                    swapped: false,
+                    operand: ChainOperand::Scalar(Scalar::F64(2.5)),
+                },
+                in_dtype: DType::F64,
+                out_dtype: DType::F64,
+            },
+            ChainLink {
+                op: ChainOpSpec::Binary {
+                    op: BinaryOp::Add,
+                    swapped: false,
+                    operand: ChainOperand::Scalar(Scalar::F64(1.0)),
+                },
+                in_dtype: DType::F64,
+                out_dtype: DType::F64,
+            },
+            ChainLink {
+                op: ChainOpSpec::Unary(UnaryOp::Abs),
+                in_dtype: DType::F64,
+                out_dtype: DType::F64,
+            },
+            ChainLink {
+                op: ChainOpSpec::Unary(UnaryOp::Sqrt),
+                in_dtype: DType::F64,
+                out_dtype: DType::F64,
+            },
+        ];
+        let kernel = FusedMapKernel::compile(&links);
+        let fused = kernel.run(&x, &[], &mut pool);
+
+        let s1 =
+            apply_binary(BinaryOp::Mul, &x, BinOperand::Scalar(Scalar::F64(2.5)), false, &mut pool);
+        let s2 =
+            apply_binary(BinaryOp::Add, &s1, BinOperand::Scalar(Scalar::F64(1.0)), false, &mut pool);
+        let s3 = apply_unary(UnaryOp::Abs, &s2, &mut pool);
+        let want = apply_unary(UnaryOp::Sqrt, &s3, &mut pool);
+        let f = fused.slice::<f64>();
+        let w = want.slice::<f64>();
+        assert_eq!(f.len(), w.len());
+        for (a, b) in f.iter().zip(w) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn chain_crossing_dtype_boundaries() {
+        let mut pool = BufPool::new();
+        // (i32 -> f64 cast) then predicate (U8 boundary) then cast to i32.
+        let vals: Vec<i32> = (0..500).map(|i| i - 250).collect();
+        let x = Chunk::from_slice::<i32>(500, 1, &vals);
+        let links = vec![
+            ChainLink { op: ChainOpSpec::Cast, in_dtype: DType::I32, out_dtype: DType::F64 },
+            ChainLink {
+                op: ChainOpSpec::Binary {
+                    op: BinaryOp::Gt,
+                    swapped: false,
+                    operand: ChainOperand::Scalar(Scalar::F64(0.0)),
+                },
+                in_dtype: DType::F64,
+                out_dtype: DType::U8,
+            },
+            ChainLink { op: ChainOpSpec::Cast, in_dtype: DType::U8, out_dtype: DType::I32 },
+        ];
+        let kernel = FusedMapKernel::compile(&links);
+        let fused = kernel.run(&x, &[], &mut pool);
+
+        let s1 = cast_chunk(&x, DType::F64, &mut pool);
+        let s2 =
+            apply_binary(BinaryOp::Gt, &s1, BinOperand::Scalar(Scalar::F64(0.0)), false, &mut pool);
+        let want = cast_chunk(&s2, DType::I32, &mut pool);
+        assert_eq!(fused.slice::<i32>(), want.slice::<i32>());
+    }
+
+    #[test]
+    fn chunk_operand_with_column_recycling() {
+        let mut pool = BufPool::new();
+        let x = f64_chunk(2000, 4);
+        let y = f64_chunk(2000, 1);
+        let links = vec![ChainLink {
+            op: ChainOpSpec::Binary {
+                op: BinaryOp::Sub,
+                swapped: true,
+                operand: ChainOperand::Chunk { aux: 0, recycle: true },
+            },
+            in_dtype: DType::F64,
+            out_dtype: DType::F64,
+        }];
+        let kernel = FusedMapKernel::compile(&links);
+        let fused = kernel.run(&x, &[&y], &mut pool);
+        let want = apply_binary(BinaryOp::Sub, &x, BinOperand::Chunk(&y), true, &mut pool);
+        assert_eq!(fused.slice::<f64>(), want.slice::<f64>());
+    }
+
+    #[test]
+    fn row_vector_operand_resolves_per_column() {
+        let mut pool = BufPool::new();
+        let x = f64_chunk(1500, 3);
+        let v = Arc::new(vec![2.0, 4.0, 8.0]);
+        let links = vec![ChainLink {
+            op: ChainOpSpec::Binary {
+                op: BinaryOp::Div,
+                swapped: false,
+                operand: ChainOperand::RowVec(v.clone()),
+            },
+            in_dtype: DType::F64,
+            out_dtype: DType::F64,
+        }];
+        let kernel = FusedMapKernel::compile(&links);
+        let fused = kernel.run(&x, &[], &mut pool);
+        let want = apply_binary(BinaryOp::Div, &x, BinOperand::RowVec(&v), false, &mut pool);
+        assert_eq!(fused.slice::<f64>(), want.slice::<f64>());
+    }
+
+    #[test]
+    fn run_into_writes_at_row_offset() {
+        let mut pool = BufPool::new();
+        let x = f64_chunk(100, 2);
+        let links = vec![ChainLink {
+            op: ChainOpSpec::Unary(UnaryOp::Neg),
+            in_dtype: DType::F64,
+            out_dtype: DType::F64,
+        }];
+        let kernel = FusedMapKernel::compile(&links);
+        // Destination partition: 300 rows per column, chunk lands at 100.
+        let mut dst = IoBuf::zeroed(300 * 2 * 8);
+        kernel.run_into(&x, &[], &mut dst, 300, 100, &mut pool);
+        let d = dst.typed::<f64>();
+        let s = x.slice::<f64>();
+        for c in 0..2 {
+            for r in 0..100 {
+                assert_eq!(d[c * 300 + 100 + r], -s[c * 100 + r]);
+            }
+        }
+    }
+}

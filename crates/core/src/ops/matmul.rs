@@ -43,6 +43,88 @@ pub fn matmul_chunk(input: &Chunk, b: &Dense, pool: &mut BufPool) -> Chunk {
     out
 }
 
+/// One output column's first term: `d[r] = f1(col[r], bkj)`,
+/// monomorphized over `F1` so the row loop has no enum dispatch.
+fn ip_init<T: Element, const F1: u8>(d: &mut [T], col: &[T], bkj: T) {
+    let f1 = BinaryOp::from_u8(F1);
+    for (dv, &cv) in d.iter_mut().zip(col) {
+        *dv = f1.eval(cv, bkj);
+    }
+}
+
+/// One output column's fold step: `d[r] = f2(d[r], f1(col[r], bkj))`,
+/// monomorphized over the `(F1, F2)` pair.
+fn ip_fold<T: Element, const F1: u8, const F2: u8>(d: &mut [T], col: &[T], bkj: T) {
+    let f1 = BinaryOp::from_u8(F1);
+    let f2 = BinaryOp::from_u8(F2);
+    for (dv, &cv) in d.iter_mut().zip(col) {
+        *dv = f2.eval(*dv, f1.eval(cv, bkj));
+    }
+}
+
+type IpColFn<T> = fn(&mut [T], &[T], T);
+
+/// Resolve `f1` to its monomorphized init kernel once per call. The
+/// supported set (and the panic for anything else) matches the historic
+/// per-element match.
+fn ip_init_fn<T: Element>(f1: BinaryOp) -> IpColFn<T> {
+    macro_rules! arm {
+        ($v:ident) => {
+            ip_init::<T, { BinaryOp::$v as u8 }>
+        };
+    }
+    match f1 {
+        BinaryOp::Add => arm!(Add),
+        BinaryOp::Sub => arm!(Sub),
+        BinaryOp::Mul => arm!(Mul),
+        BinaryOp::Div => arm!(Div),
+        BinaryOp::Min => arm!(Min),
+        BinaryOp::Max => arm!(Max),
+        BinaryOp::EuclidSq => arm!(EuclidSq),
+        other => panic!("unsupported inner.prod element function {other:?}"),
+    }
+}
+
+/// Resolve the `(f1, f2)` pair to its monomorphized fold kernel.
+fn ip_fold_fn<T: Element>(f1: BinaryOp, f2: BinaryOp) -> IpColFn<T> {
+    macro_rules! arm {
+        ($a:ident, $b:ident) => {
+            ip_fold::<T, { BinaryOp::$a as u8 }, { BinaryOp::$b as u8 }>
+        };
+    }
+    match (f1, f2) {
+        (BinaryOp::Add, BinaryOp::Add) => arm!(Add, Add),
+        (BinaryOp::Add, BinaryOp::Mul) => arm!(Add, Mul),
+        (BinaryOp::Add, BinaryOp::Min) => arm!(Add, Min),
+        (BinaryOp::Add, BinaryOp::Max) => arm!(Add, Max),
+        (BinaryOp::Sub, BinaryOp::Add) => arm!(Sub, Add),
+        (BinaryOp::Sub, BinaryOp::Mul) => arm!(Sub, Mul),
+        (BinaryOp::Sub, BinaryOp::Min) => arm!(Sub, Min),
+        (BinaryOp::Sub, BinaryOp::Max) => arm!(Sub, Max),
+        (BinaryOp::Mul, BinaryOp::Add) => arm!(Mul, Add),
+        (BinaryOp::Mul, BinaryOp::Mul) => arm!(Mul, Mul),
+        (BinaryOp::Mul, BinaryOp::Min) => arm!(Mul, Min),
+        (BinaryOp::Mul, BinaryOp::Max) => arm!(Mul, Max),
+        (BinaryOp::Div, BinaryOp::Add) => arm!(Div, Add),
+        (BinaryOp::Div, BinaryOp::Mul) => arm!(Div, Mul),
+        (BinaryOp::Div, BinaryOp::Min) => arm!(Div, Min),
+        (BinaryOp::Div, BinaryOp::Max) => arm!(Div, Max),
+        (BinaryOp::Min, BinaryOp::Add) => arm!(Min, Add),
+        (BinaryOp::Min, BinaryOp::Mul) => arm!(Min, Mul),
+        (BinaryOp::Min, BinaryOp::Min) => arm!(Min, Min),
+        (BinaryOp::Min, BinaryOp::Max) => arm!(Min, Max),
+        (BinaryOp::Max, BinaryOp::Add) => arm!(Max, Add),
+        (BinaryOp::Max, BinaryOp::Mul) => arm!(Max, Mul),
+        (BinaryOp::Max, BinaryOp::Min) => arm!(Max, Min),
+        (BinaryOp::Max, BinaryOp::Max) => arm!(Max, Max),
+        (BinaryOp::EuclidSq, BinaryOp::Add) => arm!(EuclidSq, Add),
+        (BinaryOp::EuclidSq, BinaryOp::Mul) => arm!(EuclidSq, Mul),
+        (BinaryOp::EuclidSq, BinaryOp::Min) => arm!(EuclidSq, Min),
+        (BinaryOp::EuclidSq, BinaryOp::Max) => arm!(EuclidSq, Max),
+        (other, _) => panic!("unsupported inner.prod element function {other:?}"),
+    }
+}
+
 /// Generalized inner product:
 /// `out[r, j] = fold_f2 over k of f1(chunk[r, k], b[k, j])`.
 ///
@@ -65,30 +147,10 @@ pub fn inner_prod_chunk(
     let k = b.cols();
     let mut out = Chunk::alloc(input.dtype(), rows, k, pool);
     crate::dispatch!(input.dtype(), T, {
-        let eval1 = |a: T, bb: T| -> T {
-            match f1 {
-                BinaryOp::Add => a.add(bb),
-                BinaryOp::Sub => a.sub(bb),
-                BinaryOp::Mul => a.mul(bb),
-                BinaryOp::Div => a.div(bb),
-                BinaryOp::Min => a.minv(bb),
-                BinaryOp::Max => a.maxv(bb),
-                BinaryOp::EuclidSq => {
-                    let d = a.sub(bb);
-                    d.mul(d)
-                }
-                other => panic!("unsupported inner.prod element function {other:?}"),
-            }
-        };
-        let eval2 = |a: T, bb: T| -> T {
-            match f2 {
-                BinaryOp::Add => a.add(bb),
-                BinaryOp::Mul => a.mul(bb),
-                BinaryOp::Min => a.minv(bb),
-                BinaryOp::Max => a.maxv(bb),
-                _ => unreachable!(),
-            }
-        };
+        // Resolve (f1, f2) to monomorphized column kernels once; the
+        // row loops below run through bare function pointers.
+        let init = ip_init_fn::<T>(f1);
+        let fold = ip_fold_fn::<T>(f1, f2);
         let src = input.slice::<T>();
         let dst = out.slice_mut::<T>();
         for j in 0..k {
@@ -97,13 +159,9 @@ pub fn inner_prod_chunk(
                 let bkj = T::from_f64(b.at(kk, j));
                 let col = &src[kk * rows..(kk + 1) * rows];
                 if kk == 0 {
-                    for r in 0..rows {
-                        d[r] = eval1(col[r], bkj);
-                    }
+                    init(d, col, bkj);
                 } else {
-                    for r in 0..rows {
-                        d[r] = eval2(d[r], eval1(col[r], bkj));
-                    }
+                    fold(d, col, bkj);
                 }
             }
         }

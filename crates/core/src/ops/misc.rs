@@ -17,20 +17,25 @@ pub fn cast_chunk(input: &Chunk, to: DType, pool: &mut BufPool) -> Chunk {
     let mut out = Chunk::alloc(to, rows, cols, pool);
     crate::dispatch!(input.dtype(), S, {
         crate::dispatch!(to, D, {
-            let src = input.slice::<S>();
-            let dst = out.slice_mut::<D>();
-            if S::DTYPE.is_float() {
-                for (d, s) in dst.iter_mut().zip(src) {
-                    *d = D::from_f64(s.to_f64());
-                }
-            } else {
-                for (d, s) in dst.iter_mut().zip(src) {
-                    *d = D::from_i64(s.to_i64());
-                }
-            }
+            cast_slice::<S, D>(input.slice::<S>(), out.slice_mut::<D>());
         });
     });
     out
+}
+
+/// Slice-level cast shared by [`cast_chunk`] and the fused map kernels:
+/// float sources round-trip through `f64`, integer sources through `i64`
+/// (R promotion semantics, exact for same-family conversions).
+pub(crate) fn cast_slice<S: Element, D: Element>(src: &[S], dst: &mut [D]) {
+    if S::DTYPE.is_float() {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = D::from_f64(s.to_f64());
+        }
+    } else {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = D::from_i64(s.to_i64());
+        }
+    }
 }
 
 /// Select columns (R's `X[, idx]`); indices may repeat or reorder.

@@ -8,6 +8,7 @@
 pub mod agg;
 pub mod binary;
 pub mod cum;
+pub mod fused_map;
 pub mod matmul;
 pub mod misc;
 pub mod unary;

@@ -30,6 +30,34 @@ pub enum UnaryOp {
 }
 
 impl UnaryOp {
+    /// Every variant in declaration (discriminant) order; keeps
+    /// [`UnaryOp::from_u8`] in sync with `as u8` casts.
+    pub(crate) const ALL: [UnaryOp; 16] = [
+        UnaryOp::Neg,
+        UnaryOp::Abs,
+        UnaryOp::Sqrt,
+        UnaryOp::Exp,
+        UnaryOp::Ln,
+        UnaryOp::Log2,
+        UnaryOp::Log10,
+        UnaryOp::Log1p,
+        UnaryOp::Floor,
+        UnaryOp::Ceil,
+        UnaryOp::Round,
+        UnaryOp::Sign,
+        UnaryOp::Recip,
+        UnaryOp::Square,
+        UnaryOp::Sigmoid,
+        UnaryOp::Not,
+    ];
+
+    /// Inverse of `op as u8`; constant-folds when `v` is a const generic
+    /// (the fused map kernels monomorphize their strip loops over it).
+    #[inline(always)]
+    pub(crate) fn from_u8(v: u8) -> UnaryOp {
+        UnaryOp::ALL[v as usize]
+    }
+
     /// Whether the mathematical definition requires float input; the FM
     /// layer casts integer inputs to `f64` first (R promotion).
     pub fn needs_float(self) -> bool {
@@ -55,7 +83,7 @@ impl UnaryOp {
     }
 
     #[inline(always)]
-    fn eval_f64(self, x: f64) -> f64 {
+    pub(crate) fn eval_f64(self, x: f64) -> f64 {
         match self {
             UnaryOp::Neg => -x,
             UnaryOp::Abs => x.abs(),
@@ -85,7 +113,7 @@ impl UnaryOp {
     }
 }
 
-fn unary_typed<T: Element>(op: UnaryOp, src: &[T], dst: &mut [T]) {
+pub(crate) fn unary_typed<T: Element>(op: UnaryOp, src: &[T], dst: &mut [T]) {
     match op {
         // Ops with exact native implementations stay in T.
         UnaryOp::Neg => {

@@ -22,6 +22,17 @@ pub struct ExecStats {
     pub remote_parts: AtomicU64,
     /// Nanoseconds spent inside materialization.
     pub exec_nanos: AtomicU64,
+    /// Chunks freshly produced by node evaluation (memo hits excluded;
+    /// one fused chain produces one chunk however long it is).
+    pub node_chunks: AtomicU64,
+    /// Bytes of those freshly produced chunks — the data-movement
+    /// quantity chain fusion reduces.
+    pub node_chunk_bytes: AtomicU64,
+    /// Fused chain kernels executed (one count per chunk produced by a
+    /// chain, not per chain discovered).
+    pub fused_chains: AtomicU64,
+    /// Bytes of intermediate chunks chain fusion skipped allocating.
+    pub fused_saved_bytes: AtomicU64,
 }
 
 /// Point-in-time copy of [`ExecStats`].
@@ -33,6 +44,10 @@ pub struct ExecStatsSnapshot {
     pub local_parts: u64,
     pub remote_parts: u64,
     pub exec_nanos: u64,
+    pub node_chunks: u64,
+    pub node_chunk_bytes: u64,
+    pub fused_chains: u64,
+    pub fused_saved_bytes: u64,
 }
 
 impl ExecStats {
@@ -45,6 +60,10 @@ impl ExecStats {
             local_parts: self.local_parts.load(Ordering::Relaxed),
             remote_parts: self.remote_parts.load(Ordering::Relaxed),
             exec_nanos: self.exec_nanos.load(Ordering::Relaxed),
+            node_chunks: self.node_chunks.load(Ordering::Relaxed),
+            node_chunk_bytes: self.node_chunk_bytes.load(Ordering::Relaxed),
+            fused_chains: self.fused_chains.load(Ordering::Relaxed),
+            fused_saved_bytes: self.fused_saved_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -68,6 +87,10 @@ impl ExecStatsSnapshot {
             local_parts: later.local_parts.saturating_sub(self.local_parts),
             remote_parts: later.remote_parts.saturating_sub(self.remote_parts),
             exec_nanos: later.exec_nanos.saturating_sub(self.exec_nanos),
+            node_chunks: later.node_chunks.saturating_sub(self.node_chunks),
+            node_chunk_bytes: later.node_chunk_bytes.saturating_sub(self.node_chunk_bytes),
+            fused_chains: later.fused_chains.saturating_sub(self.fused_chains),
+            fused_saved_bytes: later.fused_saved_bytes.saturating_sub(self.fused_saved_bytes),
         }
     }
 }

@@ -91,6 +91,13 @@ pub struct OpProfile {
     /// Chunks evaluated for this node (memoized hits are not re-counted).
     pub chunks: u64,
     pub nanos: u64,
+    /// When the node is the root of a fused map chain: number of ops the
+    /// chain covers (0 for ordinary nodes). A ≥ 2 value means this one
+    /// profile stands in for `chain_len` interpreter ops.
+    pub chain_len: u64,
+    /// Bytes of intermediate chunks the chain skipped allocating across
+    /// all evaluations (0 for ordinary nodes).
+    pub saved_bytes: u64,
 }
 
 /// One materialization pass, as observed by the fused engine.
@@ -400,6 +407,8 @@ fn pass_json(p: &PassProfile, out: &mut String) {
         json_escape(&op.label, out);
         field_u64("chunks", op.chunks, false, out);
         field_u64("nanos", op.nanos, false, out);
+        field_u64("chain_len", op.chain_len, false, out);
+        field_u64("saved_bytes", op.saved_bytes, false, out);
         out.push('}');
     }
     out.push_str("]}");
@@ -484,7 +493,14 @@ mod tests {
                 compute_nanos: 100,
                 pcache_chunks: 4,
             }],
-            ops: vec![OpProfile { node_id: 7, label: "mapply:Add \"x\"".into(), chunks: 4, nanos: 50 }],
+            ops: vec![OpProfile {
+                node_id: 7,
+                label: "mapply:Add \"x\"".into(),
+                chunks: 4,
+                nanos: 50,
+                chain_len: 0,
+                saved_bytes: 0,
+            }],
         });
         let report = ProfileReport {
             exec: ExecStatsSnapshot { passes: 1, parts: 2, ..Default::default() },

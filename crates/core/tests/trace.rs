@@ -110,7 +110,32 @@ fn trace_pass_records_profiles_without_ops() {
 
 #[test]
 fn trace_op_records_per_node_timings() {
+    // Chain fusion compiles scale -> shift -> sqrt into one kernel, so
+    // the per-node trace shows gen + a single chain root standing in for
+    // all three maps.
     let ctx = ctx_with(ExecMode::CacheFuse, TraceLevel::Op);
+    four_op_sum(&ctx);
+    let passes = ctx.tracer().passes();
+    assert_eq!(passes.len(), 1);
+    let ops = &passes[0].ops;
+    assert_eq!(ops.len(), 2, "ops: {ops:?}");
+    let labels: Vec<&str> = ops.iter().map(|o| o.label.as_str()).collect();
+    assert!(labels.contains(&"gen"), "labels: {labels:?}");
+    let chain = ops.iter().find(|o| o.label.starts_with("chain[")).expect("chain profile");
+    assert_eq!(chain.chain_len, 3, "three fused ops");
+    assert!(chain.label.contains("mapply:Mul"), "label: {}", chain.label);
+    assert!(chain.label.contains("sapply:Sqrt"), "label: {}", chain.label);
+    assert!(chain.saved_bytes > 0, "interior chunks were skipped");
+    for op in ops {
+        assert_eq!(op.chunks, 16, "each node evaluates once per chunk range");
+    }
+}
+
+#[test]
+fn trace_op_unfused_shows_every_node() {
+    // With chain fusion off the interpreter path evaluates each map
+    // separately — the historical per-node trace shape.
+    let ctx = ctx_with(ExecMode::CacheFuse, TraceLevel::Op).with_fuse_chains(false);
     four_op_sum(&ctx);
     let passes = ctx.tracer().passes();
     assert_eq!(passes.len(), 1);
@@ -123,6 +148,7 @@ fn trace_op_records_per_node_timings() {
     assert!(labels.iter().any(|l| l.starts_with("sapply:")), "labels: {labels:?}");
     for op in ops {
         assert_eq!(op.chunks, 16, "each node evaluates once per chunk range");
+        assert_eq!(op.chain_len, 0, "no chains when fusion is off");
     }
 }
 

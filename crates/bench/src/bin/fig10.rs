@@ -30,6 +30,7 @@ fn main() {
     );
 
     let mut report = Report::new();
+    let mut traced: Vec<(String, FlashCtx)> = Vec::new();
     let modes: [(&str, ExecMode); 3] = [
         ("base", ExecMode::Eager),
         ("mem-fuse", ExecMode::MemFuse),
@@ -43,9 +44,6 @@ fn main() {
         let y = d.y.materialize(&em);
         let pg = pagegraph_like(&em, n_page, 32, 10, 5).x.materialize(&em);
         let params = format!("mode={mode_name}");
-        // Engine counters over the measured window only (input generation
-        // and materialization above are excluded).
-        let before = em.stats().snapshot();
 
         let (_, t) = time(|| correlation(&em, &x));
         report.push("fig10", "correlation", mode_name, &params, t.as_secs_f64());
@@ -69,8 +67,12 @@ fn main() {
         });
         report.push("fig10", "gmm", mode_name, &params, t.as_secs_f64());
 
-        let delta = before.delta(&em.stats().snapshot());
-        println!("{mode_name} done.  [{}]", exec_delta_line(&delta));
+        println!("{mode_name} done.");
+        // Same per-pass critical-path table as perf_probe — the Fig. 10
+        // story in wall-clock attribution: base is io-wait/write-stall
+        // bound, the fused modes shift toward compute.
+        print_critical_path(mode_name, &em.profile_report());
+        traced.push((format!("fig10-{mode_name}"), em));
     }
 
     // Speedup over base per algorithm (the paper's bar heights).
@@ -94,5 +96,7 @@ fn main() {
             base / get("cache-fuse")
         );
     }
+    let parts: Vec<(&str, &FlashCtx)> = traced.iter().map(|(n, c)| (n.as_str(), c)).collect();
+    maybe_export_trace(&parts);
     report.save_json("fig10");
 }

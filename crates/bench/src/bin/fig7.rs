@@ -82,16 +82,22 @@ fn main() {
     let mut report = Report::new();
 
     println!("FlashR-IM:");
-    run_all(&mut report, "FlashR-IM", &im_ctx(), n_criteo, n_page, false);
+    let im = im_ctx();
+    run_all(&mut report, "FlashR-IM", &im, n_criteo, n_page, false);
 
     println!("FlashR-EM:");
     let em = if profile == "ec2" { em_ctx_ec2("fig7") } else { em_ctx_local("fig7") };
     run_all(&mut report, "FlashR-EM", &em, n_criteo, n_page, false);
 
     println!("MLlib-like (eager per-op materialization, in memory):");
-    run_all(&mut report, "MLlib-like", &im_ctx().with_mode(ExecMode::Eager), n_criteo, n_page, true);
+    let eager = im_ctx().with_mode(ExecMode::Eager);
+    run_all(&mut report, "MLlib-like", &eager, n_criteo, n_page, true);
 
     println!("\nnormalized runtime (relative to FlashR-IM; paper Fig. 7):");
     report.print_normalized("FlashR-IM");
+    print_critical_path("FlashR-IM", &im.profile_report());
+    print_critical_path("FlashR-EM", &em.profile_report());
+    print_critical_path("MLlib-like", &eager.profile_report());
+    maybe_export_trace(&[("FlashR-IM", &im), ("FlashR-EM", &em), ("MLlib-like", &eager)]);
     report.save_json(&format!("fig7-{profile}"));
 }

@@ -37,6 +37,7 @@ fn main() {
     });
     let mu = vec![0.0; p];
 
+    let mut traced: Vec<(String, FlashCtx)> = Vec::new();
     for (system, em) in [("FlashR-IM", false), ("FlashR-EM", true)] {
         let ctx = if em { em_ctx_local(&format!("fig8-{system}")) } else { im_ctx() };
         let x = FM::rnorm(&ctx, n, p, 0.0, 1.0, 11).materialize(&ctx);
@@ -62,6 +63,7 @@ fn main() {
         let (_, t) = time(|| lda(&ctx, &xl, &labels, 2));
         report.push("fig8", "lda", system, &params, t.as_secs_f64());
         println!("  {system:<12} lda        {:>8.2}s", t.as_secs_f64());
+        traced.push((system.to_string(), ctx));
     }
 
     // RRO model: dense in-memory, sequential except GEMM.
@@ -99,5 +101,10 @@ fn main() {
 
     println!("\nnormalized runtime (relative to FlashR-IM; paper Fig. 8):");
     report.print_normalized("FlashR-IM");
+    for (name, ctx) in &traced {
+        print_critical_path(name, &ctx.profile_report());
+    }
+    let parts: Vec<(&str, &FlashCtx)> = traced.iter().map(|(n, c)| (n.as_str(), c)).collect();
+    maybe_export_trace(&parts);
     report.save_json("fig8");
 }

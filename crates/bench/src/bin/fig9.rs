@@ -23,6 +23,7 @@ fn main() {
     println!("Figure 9 — IM vs EM ratio vs computation/I-O balance (n = {n})\n");
 
     let mut report = Report::new();
+    let mut traced: Vec<(String, FlashCtx)> = Vec::new();
     let p_values: &[usize] = if scale == Scale::Quick { &[8, 32, 128, 256] } else { &[8, 32, 128, 512] };
     let k_values: &[usize] = &[2, 8, 32, 64];
 
@@ -53,6 +54,8 @@ fn main() {
             "naive-bayes", p, ti.as_secs_f64(), te.as_secs_f64(),
             te.as_secs_f64() / ti.as_secs_f64()
         );
+        traced.push((format!("IM-p{p}"), im));
+        traced.push((format!("EM-p{p}"), em));
     }
 
     println!();
@@ -72,7 +75,17 @@ fn main() {
             "kmeans", k, ti.as_secs_f64(), te.as_secs_f64(),
             te.as_secs_f64() / ti.as_secs_f64()
         );
+        traced.push((format!("IM-k{k}"), im));
+        traced.push((format!("EM-k{k}"), em));
     }
+
+    // Per-context critical-path tables only for the EM side (the IM runs
+    // are the denominators; their breakdowns are all-compute).
+    for (name, ctx) in traced.iter().filter(|(n, _)| n.starts_with("EM")) {
+        print_critical_path(name, &ctx.profile_report());
+    }
+    let parts: Vec<(&str, &FlashCtx)> = traced.iter().map(|(n, c)| (n.as_str(), c)).collect();
+    maybe_export_trace(&parts);
 
     println!("\n(extra column of the JSON rows holds the IM seconds)");
     report.save_json("fig9");

@@ -16,13 +16,17 @@
 //! ```
 
 use flashr::prelude::*;
-use flashr_bench::{bench_artifact_json_sections, save_bench_artifact, scratch_dir, BenchStage};
+use flashr_bench::{
+    bench_artifact_json_sections, bench_trace_level, maybe_export_trace, print_critical_path,
+    save_bench_artifact, scratch_dir, BenchStage,
+};
 use std::time::Instant;
 
 fn main() {
     // Honour FLASHR_TRACE but never drop below Pass: the artifact's
-    // pass-profile summary is the point of the probe.
-    let level = TraceLevel::from_env().max(TraceLevel::Pass);
+    // pass-profile summary is the point of the probe. `--trace-out` or
+    // `FLASHR_TRACE_OUT` raise it to timeline spans.
+    let level = bench_trace_level();
     let ctx = FlashCtx::in_memory().with_trace(level);
     let n = 2_000_000u64;
     let p = 16usize;
@@ -167,6 +171,18 @@ fn main() {
         "perf_probe",
         &bench_artifact_json_sections("perf_probe", &stages, &report, &sections),
     );
+
+    print_critical_path("main", &report);
+    print_critical_path("map-chain fused", &fused_ctx.profile_report());
+    print_critical_path("map-chain unfused", &unfused_ctx.profile_report());
+    print_critical_path("em-cache", &em_ctx.profile_report());
+    maybe_export_trace(&[
+        ("main", &ctx),
+        ("map-chain-fused", &fused_ctx),
+        ("map-chain-unfused", &unfused_ctx),
+        ("em-cache", &em_ctx),
+    ]);
+
     println!(
         "\n{} passes profiled (trace={level:?}); artifact written to {}",
         report.passes.len(),

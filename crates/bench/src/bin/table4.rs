@@ -90,5 +90,8 @@ fn main() {
             io.read_bytes as f64 / expect as f64
         );
     }
+    print_critical_path("table4-im", &ctx.profile_report());
+    print_critical_path("table4-em", &em.profile_report());
+    maybe_export_trace(&[("table4-im", &ctx), ("table4-em", &em)]);
     report.save_json("table4");
 }

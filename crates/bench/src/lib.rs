@@ -56,6 +56,65 @@ pub fn profile_arg() -> String {
         .unwrap_or_else(|| "local".to_string())
 }
 
+/// The path after `--trace-out`, if present: where the binary writes its
+/// merged Chrome trace.
+pub fn trace_out_arg() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+}
+
+/// Trace level for the bench binaries: at least [`TraceLevel::Pass`] (the
+/// artifacts embed pass profiles), raised to [`TraceLevel::Timeline`] when
+/// a trace export was requested via `--trace-out` or `FLASHR_TRACE_OUT`,
+/// or explicitly via `FLASHR_TRACE=timeline`.
+pub fn bench_trace_level() -> TraceLevel {
+    let mut level = TraceLevel::from_env().max(TraceLevel::Pass);
+    let env_out = std::env::var_os("FLASHR_TRACE_OUT").is_some_and(|v| !v.is_empty());
+    if trace_out_arg().is_some() || env_out {
+        level = level.max(TraceLevel::Timeline);
+    }
+    level
+}
+
+/// Print one context's per-pass critical-path breakdown — the uniform
+/// summary table every figure binary and `perf_probe` share.
+pub fn print_critical_path(label: &str, report: &ProfileReport) {
+    let table = report.critical_path_table();
+    if table.is_empty() {
+        return;
+    }
+    println!("\n[{label}] critical path:");
+    print!("{table}");
+    if report.dropped_events > 0 {
+        println!("  ({} timeline events dropped over budget)", report.dropped_events);
+    }
+}
+
+/// Export a merged Chrome trace covering every listed context, if an
+/// output path was requested: `--trace-out <path>` wins, else the
+/// process-wide `FLASHR_TRACE_OUT` claim (consumed here so the contexts'
+/// own drop-exports don't overwrite the merged file). No-op when no
+/// context carries a timeline.
+pub fn maybe_export_trace(parts: &[(&str, &FlashCtx)]) {
+    use flashr::core::trace::timeline::claim_trace_out;
+    let tls: Vec<(&str, &Timeline)> = parts
+        .iter()
+        .filter_map(|(name, ctx)| ctx.tracer().timeline().map(|tl| (*name, tl.as_ref())))
+        .collect();
+    if tls.is_empty() {
+        return;
+    }
+    let Some(path) = trace_out_arg().or_else(claim_trace_out) else { return };
+    let json = flashr::core::trace::chrome::export_chrome_trace(&tls);
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("chrome trace written to {} ({} bytes)", path.display(), json.len()),
+        Err(e) => eprintln!("warning: could not write trace {}: {e}", path.display()),
+    }
+}
+
 /// Fresh scratch directory for an emulated SSD array.
 pub fn scratch_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("flashr-bench-{tag}-{}", std::process::id()));
@@ -63,27 +122,31 @@ pub fn scratch_dir(tag: &str) -> PathBuf {
     dir
 }
 
-/// In-memory context sized for benchmarking.
+/// In-memory context sized for benchmarking. Traces at
+/// [`bench_trace_level`] so every harness binary can print the per-pass
+/// critical-path table and honour `--trace-out`.
 pub fn im_ctx() -> FlashCtx {
-    FlashCtx::in_memory()
+    FlashCtx::in_memory().with_trace(bench_trace_level())
 }
 
 /// External-memory context with the local-server SSD-array profile
 /// (paper §4: 24 SATA SSDs; scaled to 4 emulated devices here).
 pub fn em_ctx_local(tag: &str) -> FlashCtx {
     let cfg = SafsConfig::striped_under(scratch_dir(tag), 4).with_throttle(ThrottleCfg::sata_ssd());
-    FlashCtx::on_ssds(cfg).expect("SAFS open failed")
+    FlashCtx::on_ssds(cfg).expect("SAFS open failed").with_trace(bench_trace_level())
 }
 
 /// External-memory context with the EC2 i3.16xlarge NVMe profile.
 pub fn em_ctx_ec2(tag: &str) -> FlashCtx {
     let cfg = SafsConfig::striped_under(scratch_dir(tag), 4).with_throttle(ThrottleCfg::nvme_ssd());
-    FlashCtx::on_ssds(cfg).expect("SAFS open failed")
+    FlashCtx::on_ssds(cfg).expect("SAFS open failed").with_trace(bench_trace_level())
 }
 
 /// External-memory context with no throttle (raw host storage).
 pub fn em_ctx_raw(tag: &str) -> FlashCtx {
-    FlashCtx::on_ssds(SafsConfig::striped_under(scratch_dir(tag), 4)).expect("SAFS open failed")
+    FlashCtx::on_ssds(SafsConfig::striped_under(scratch_dir(tag), 4))
+        .expect("SAFS open failed")
+        .with_trace(bench_trace_level())
 }
 
 /// Wall-clock one closure.

@@ -63,6 +63,16 @@ pub fn run(ctx: &FlashCtx, targets: &[Target]) -> Vec<TargetResult> {
         if node.is_effective_leaf() || node.is_sink() || resolved.contains_key(&node.id) {
             continue;
         }
+        if let Some(tl) = ctx.tracer().timeline() {
+            // Mark each per-op materialization step; the pass spans the
+            // step drives through the fused machinery nest under it in
+            // the timeline view.
+            tl.named_lane("coordinator").instant(
+                "exec",
+                format!("eager-step:{}", node.label()),
+                [("node", node.id), ("", 0)],
+            );
+        }
         // Materialize this single operation; its children are leaves or
         // already in `resolved`, so the "fused" pass contains one op.
         let result = fused::run_labeled(

@@ -18,8 +18,8 @@ use crate::ops;
 use crate::part::pcache_ranges;
 use crate::session::{ExecMode, FlashCtx, StorageClass};
 use crate::stats::ExecStats;
-use crate::trace::{OpProfile, PassProfile, TraceLevel, WorkerProfile};
-use flashr_safs::{IoBuf, IoTicket, SafsFile};
+use crate::trace::{Lane, OpProfile, PassProfile, Timeline, TraceLevel, WorkerProfile};
+use flashr_safs::{now_nanos, IoBuf, IoTicket, SafsFile, NO_ARGS};
 use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -72,6 +72,9 @@ struct Shared<'a> {
     batch: u64,
     merged: Mutex<Vec<Option<SinkAcc>>>,
     trace: Option<&'a PassAgg>,
+    /// Span timeline; `Some` only at [`TraceLevel::Timeline`].
+    timeline: Option<&'a Timeline>,
+    pass_id: u64,
 }
 
 /// Run one fused pass and return one result per target. `nodes_pre_cse`
@@ -166,14 +169,31 @@ pub(crate) fn run_labeled(
         batch,
         merged: Mutex::new((0..plan.sinks.len()).map(|_| None).collect()),
         trace: agg.as_ref(),
+        timeline: tracer.timeline().map(|t| t.as_ref()),
+        pass_id,
     };
 
+    // The whole parallel section is one "pass" span on the coordinator
+    // lane; the critical-path analyzer windows task spans by it.
+    let coord = shared.timeline.map(|tl| tl.named_lane("coordinator"));
+    if let Some(l) = coord.as_ref() {
+        l.begin("exec", "pass", [("pass", pass_id), ("nparts", nparts)]);
+    }
     std::thread::scope(|scope| {
         for tid in 0..nthreads {
             let shared = &shared;
-            scope.spawn(move || worker(tid, shared));
+            // Workers carry stable names so timeline lanes are reused
+            // across passes (and SAFS cache spans taken on a worker
+            // thread land on the same lane as its task spans).
+            std::thread::Builder::new()
+                .name(format!("flashr-w{tid}"))
+                .spawn_scoped(scope, move || worker(tid, shared))
+                .expect("spawn worker thread");
         }
     });
+    if let Some(l) = coord.as_ref() {
+        l.end("exec", "pass");
+    }
 
     // Finalize.
     let mut results: Vec<Option<TargetResult>> = (0..targets.len()).map(|_| None).collect();
@@ -299,6 +319,9 @@ fn worker(tid: usize, shared: &Shared<'_>) {
     // Tracing is cheap-when-disabled: `wp` is None unless the tracer is
     // at `pass` level, and every `Instant::now()` hides behind it.
     let mut wp = shared.trace.map(|_| WorkerProfile { tid, ..WorkerProfile::default() });
+    // Timeline lane for this worker, resolved once by thread name.
+    let lane = shared.timeline.map(|tl| tl.lane());
+    let lane = lane.as_deref();
 
     loop {
         let (parts, local) = claim(shared, my_node);
@@ -334,12 +357,30 @@ fn worker(tid: usize, shared: &Shared<'_>) {
             .collect();
 
         for (idx, &part) in parts.iter().enumerate() {
-            let io_t0 = wp.as_ref().map(|_| Instant::now());
+            if let Some(l) = lane {
+                l.begin("exec", "task", [("part", part), ("pass", shared.pass_id)]);
+            }
             // Bound the in-flight writes: wait for the *oldest* ticket
             // only, so the remaining slots keep streaming instead of
             // stalling the worker behind every outstanding write.
-            while pending_writes.len() >= max_pending {
-                pending_writes.remove(0).wait().expect("EM output write failed");
+            if pending_writes.len() >= max_pending {
+                let ws_t0 = wp.as_ref().map(|_| Instant::now());
+                if let Some(l) = lane {
+                    l.begin("exec", "write-stall", NO_ARGS);
+                }
+                while pending_writes.len() >= max_pending {
+                    pending_writes.remove(0).wait().expect("EM output write failed");
+                }
+                if let Some(l) = lane {
+                    l.end("exec", "write-stall");
+                }
+                if let (Some(wp), Some(t0)) = (wp.as_mut(), ws_t0) {
+                    wp.write_stall_nanos += t0.elapsed().as_nanos() as u64;
+                }
+            }
+            let io_t0 = wp.as_ref().map(|_| Instant::now());
+            if let Some(l) = lane {
+                l.begin("exec", "io-wait", NO_ARGS);
             }
             let mut leaf_bufs: HashMap<u64, Arc<IoBuf>> = HashMap::new();
             for (nid, mat) in &shared.plan.leaves {
@@ -349,26 +390,55 @@ fn worker(tid: usize, shared: &Shared<'_>) {
                 };
                 leaf_bufs.insert(*nid, buf);
             }
+            if let Some(l) = lane {
+                l.end("exec", "io-wait");
+            }
             if let (Some(wp), Some(t0)) = (wp.as_mut(), io_t0) {
                 wp.io_wait_nanos += t0.elapsed().as_nanos() as u64;
             }
             let compute_t0 = wp.as_ref().map(|_| Instant::now());
-            let chunks =
-                process_part(shared, part, &leaf_bufs, &mut pool, &mut sink_accs, &mut pending_writes);
+            if let Some(l) = lane {
+                l.begin("exec", "compute", NO_ARGS);
+            }
+            let chunks = process_part(
+                shared,
+                part,
+                &leaf_bufs,
+                &mut pool,
+                &mut sink_accs,
+                &mut pending_writes,
+                lane,
+            );
+            if let Some(l) = lane {
+                l.end("exec", "compute");
+            }
             if let (Some(wp), Some(t0)) = (wp.as_mut(), compute_t0) {
                 wp.compute_nanos += t0.elapsed().as_nanos() as u64;
                 wp.pcache_chunks += chunks;
+            }
+            if let Some(l) = lane {
+                l.end("exec", "task");
             }
             stats.add(&stats.parts, 1);
         }
     }
 
-    let io_t0 = wp.as_ref().map(|_| Instant::now());
-    for t in pending_writes {
-        t.wait().expect("EM output write failed");
-    }
-    if let (Some(wp), Some(t0)) = (wp.as_mut(), io_t0) {
-        wp.io_wait_nanos += t0.elapsed().as_nanos() as u64;
+    // Drain the remaining EM output writes: a write stall, not leaf-read
+    // I/O wait.
+    if !pending_writes.is_empty() {
+        let ws_t0 = wp.as_ref().map(|_| Instant::now());
+        if let Some(l) = lane {
+            l.begin("exec", "write-stall", NO_ARGS);
+        }
+        for t in pending_writes {
+            t.wait().expect("EM output write failed");
+        }
+        if let Some(l) = lane {
+            l.end("exec", "write-stall");
+        }
+        if let (Some(wp), Some(t0)) = (wp.as_mut(), ws_t0) {
+            wp.write_stall_nanos += t0.elapsed().as_nanos() as u64;
+        }
     }
 
     // Deposit thread-local sink partials.
@@ -397,6 +467,9 @@ struct PartEnv<'a> {
     stats: &'a ExecStats,
     /// Per-node accumulation; `Some` only at `FLASHR_TRACE=op`.
     op_trace: Option<&'a RefCell<OpMap>>,
+    /// This worker's timeline lane; `Some` only at `FLASHR_TRACE=timeline`
+    /// (per-chunk op spans ride on the op-trace timestamps).
+    lane: Option<&'a Lane>,
 }
 
 type Memo = HashMap<(u64, usize, usize), Rc<Chunk>>;
@@ -409,6 +482,7 @@ fn process_part(
     pool: &mut BufPool,
     sink_accs: &mut [SinkAcc],
     pending_writes: &mut Vec<IoTicket>,
+    lane: Option<&Lane>,
 ) -> u64 {
     let plan = shared.plan;
     let part_rows = plan.parter.part_rows(part, plan.nrows);
@@ -427,6 +501,7 @@ fn process_part(
         grow0,
         stats,
         op_trace: op_cell.as_ref(),
+        lane,
     };
     let mut nchunks = 0u64;
 
@@ -510,9 +585,20 @@ fn process_part(
                             ..OpAgg::default()
                         });
                         e.chunks += 1;
-                        e.nanos += t0.elapsed().as_nanos() as u64;
+                        let nanos = t0.elapsed().as_nanos() as u64;
+                        e.nanos += nanos;
                         e.chain_len = chain.len as u64;
                         e.saved_bytes += saved;
+                        if let Some(l) = env.lane {
+                            let end = now_nanos();
+                            l.complete(
+                                "exec",
+                                e.label.clone(),
+                                end.saturating_sub(nanos),
+                                end,
+                                [("node", t.node.id), ("", 0)],
+                            );
+                        }
                     }
                     consume(&mut memo, &mut remaining, pool, &t.node, r0, r1);
                     continue;
@@ -653,10 +739,23 @@ fn eval(
             ..OpAgg::default()
         });
         e.chunks += 1;
-        e.nanos += t0.elapsed().as_nanos() as u64;
+        let nanos = t0.elapsed().as_nanos() as u64;
+        e.nanos += nanos;
         if let Some(c) = chain {
             e.chain_len = c.len as u64;
             e.saved_bytes += (r1 - r0) as u64 * c.saved_bytes_per_row;
+        }
+        if let Some(l) = env.lane {
+            // Per-chunk op span (inclusive of inputs computed on the way,
+            // like the aggregate above).
+            let end = now_nanos();
+            l.complete(
+                "exec",
+                e.label.clone(),
+                end.saturating_sub(nanos),
+                end,
+                [("node", node.id), ("", 0)],
+            );
         }
     }
     chunk

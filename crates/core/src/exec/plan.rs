@@ -71,6 +71,7 @@ impl Plan {
 
     /// Build and validate the plan.
     pub fn build(ctx: &FlashCtx, targets: &[Target], resolved: &HashMap<u64, TasMat>) -> Plan {
+        let build_t0 = ctx.tracer().timeline().map(|_| flashr_safs::now_nanos());
         let mut sinks = Vec::new();
         let mut talls: Vec<TallOut> = Vec::new();
         let mut leaves: Vec<(u64, TasMat)> = Vec::new();
@@ -224,6 +225,15 @@ impl Plan {
             ExecMode::MemFuse | ExecMode::Eager => full_rows,
         };
 
+        if let (Some(tl), Some(t0)) = (ctx.tracer().timeline(), build_t0) {
+            tl.lane().complete(
+                "exec",
+                "plan-build",
+                t0,
+                flashr_safs::now_nanos(),
+                [("nodes", visited.len() as u64), ("nparts", nparts)],
+            );
+        }
         Plan {
             nrows,
             parter,

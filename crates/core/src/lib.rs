@@ -52,4 +52,4 @@ pub use analysis::{AnalysisReport, FootprintEstimate, Lint, PlanError, PlanError
 pub use dtype::{DType, Scalar};
 pub use fm::FM;
 pub use session::{CtxConfig, ExecMode, FlashCtx, StorageClass};
-pub use trace::{PassProfile, ProfileReport, TraceLevel};
+pub use trace::{CriticalPath, PassBreakdown, PassProfile, ProfileReport, Timeline, TraceLevel};

@@ -4,8 +4,9 @@
 use crate::mat::TasMat;
 use crate::part::Partitioner;
 use crate::stats::ExecStats;
-use crate::trace::{ProfileReport, TraceLevel, Tracer};
-use flashr_safs::{CacheCfg, Safs, SafsConfig, SafsResult};
+use crate::trace::timeline::claim_trace_out;
+use crate::trace::{CriticalPath, ProfileReport, TraceLevel, Tracer};
+use flashr_safs::{CacheCfg, Safs, SafsConfig, SafsResult, SpanSink};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -266,6 +267,23 @@ struct CtxInner {
     governor: MemGovernor,
 }
 
+impl Drop for CtxInner {
+    fn drop(&mut self) {
+        // `FLASHR_TRACE_OUT=<path>`: dump the Chrome trace when the last
+        // clone of the context goes away. First context wins the path
+        // (claimed once per process) so multi-context programs don't
+        // overwrite each other; programs wanting a merged view export
+        // explicitly via [`FlashCtx::export_chrome_trace`].
+        let Some(tl) = self.tracer.timeline() else { return };
+        if tl.total_events() == 0 {
+            return;
+        }
+        if let Some(path) = claim_trace_out() {
+            let _ = std::fs::write(&path, crate::trace::chrome::export_single("flashr", tl));
+        }
+    }
+}
+
 impl FlashCtx {
     /// An in-memory context with default settings.
     pub fn in_memory() -> FlashCtx {
@@ -288,6 +306,12 @@ impl FlashCtx {
             assert!(safs.is_some(), "EM storage requires a SAFS runtime");
         }
         let tracer = Tracer::new(cfg.trace);
+        if let (Some(tl), Some(s)) = (tracer.timeline(), &safs) {
+            // Timeline tracing: the SAFS I/O threads record request
+            // lifecycle and cache spans into the same timeline as the
+            // executors, on their own (thread-named) lanes.
+            s.set_span_sink(Some(tl.clone() as Arc<dyn SpanSink>));
+        }
         let governor = match (&cfg.mem_budget, &safs) {
             (Some(b), Some(s)) if b.total_bytes > 0 => {
                 // Hand the cache share to the SAFS page cache (sharded
@@ -336,12 +360,24 @@ impl FlashCtx {
     /// counters and latency histograms (if on SSDs), and the recorded
     /// pass profiles — ready for [`ProfileReport::to_json`].
     pub fn profile_report(&self) -> ProfileReport {
+        let passes = self.inner.tracer.passes();
+        let lanes =
+            self.inner.tracer.timeline().map(|t| t.snapshot()).unwrap_or_default();
         ProfileReport {
             exec: self.inner.stats.snapshot(),
             io: self.inner.safs.as_ref().map(|s| s.stats_snapshot()),
-            passes: self.inner.tracer.passes(),
+            critical_path: CriticalPath::analyze(&passes, &lanes),
+            dropped_events: self.inner.tracer.dropped_events(),
+            passes,
             dropped_passes: self.inner.tracer.dropped_passes(),
         }
+    }
+
+    /// The timeline (if tracing at [`TraceLevel::Timeline`]) serialized
+    /// as a Chrome `trace_event` JSON document for Perfetto /
+    /// `chrome://tracing`. Empty document when timeline tracing is off.
+    pub fn export_chrome_trace(&self) -> String {
+        self.inner.tracer.export_chrome_trace()
     }
 
     /// A copy of this context with a different engine mode.

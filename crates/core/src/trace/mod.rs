@@ -15,15 +15,31 @@
 //! * [`ProfileReport`] — everything a context observed, serialized to
 //!   JSON by a hand-rolled writer (flashr-core takes no serialization
 //!   dependency).
+//! * [`timeline`] — at `FLASHR_TRACE=timeline`, per-thread tracks of
+//!   timestamped spans (executor tasks, I/O request lifecycles, cache
+//!   waits), exportable as a Chrome/Perfetto trace ([`chrome`],
+//!   [`Tracer::export_chrome_trace`], `FLASHR_TRACE_OUT=<path>`) and
+//!   mined by the [`critical`] analyzer for per-pass
+//!   compute/io-wait/write-stall/idle attribution.
 //!
 //! Cost model: when tracing is `off` the engine pays one branch per
 //! pass and nothing per partition or chunk — `Instant::now()` is only
-//! reached behind an `Option` that is `None` when disabled.
+//! reached behind an `Option` that is `None` when disabled, and the
+//! timeline collector is not even allocated below
+//! [`TraceLevel::Timeline`].
+
+pub mod chrome;
+pub mod critical;
+pub mod timeline;
+
+pub use critical::{CriticalPath, PassBreakdown};
+pub use timeline::{EventKind, Lane, LaneSnapshot, SpanEvent, Timeline};
 
 use crate::stats::ExecStatsSnapshot;
 use flashr_safs::{CacheStatsSnapshot, IoStatsSnapshot, LatencyHistoSnapshot, LAT_BUCKETS};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// How much the engine records. Levels are ordered: each one includes
 /// everything below it.
@@ -40,6 +56,10 @@ pub enum TraceLevel {
     Pass,
     /// Additionally record per-node operator timings inside each pass.
     Op,
+    /// Additionally collect the span [`timeline`]: per-task executor
+    /// spans, SAFS I/O request lifecycles, cache waits and queue-depth
+    /// counters, exportable to Chrome/Perfetto.
+    Timeline,
 }
 
 impl TraceLevel {
@@ -50,6 +70,7 @@ impl TraceLevel {
             "summary" => Some(TraceLevel::Summary),
             "pass" => Some(TraceLevel::Pass),
             "op" => Some(TraceLevel::Op),
+            "timeline" => Some(TraceLevel::Timeline),
             _ => None,
         }
     }
@@ -71,10 +92,13 @@ pub struct WorkerProfile {
     pub local_parts: u64,
     /// Partitions stolen from another node.
     pub remote_parts: u64,
-    /// Nanoseconds blocked on leaf reads / output-write completions.
+    /// Nanoseconds blocked on leaf reads.
     pub io_wait_nanos: u64,
     /// Nanoseconds inside partition evaluation.
     pub compute_nanos: u64,
+    /// Nanoseconds blocked on external-memory output writes (the
+    /// `max_pending_writes` bound and the end-of-pass drain).
+    pub write_stall_nanos: u64,
     /// Pcache chunk ranges evaluated.
     pub pcache_chunks: u64,
 }
@@ -140,6 +164,11 @@ impl PassProfile {
         self.workers.iter().map(|w| w.compute_nanos).sum()
     }
 
+    /// Summed worker write-stall time.
+    pub fn write_stall_nanos(&self) -> u64 {
+        self.workers.iter().map(|w| w.write_stall_nanos).sum()
+    }
+
     /// Summed Pcache chunks.
     pub fn pcache_chunks(&self) -> u64 {
         self.workers.iter().map(|w| w.pcache_chunks).sum()
@@ -166,15 +195,40 @@ pub struct Tracer {
     level: TraceLevel,
     passes: Mutex<Vec<PassProfile>>,
     dropped: AtomicU64,
+    /// Allocated only at [`TraceLevel::Timeline`]; below that the span
+    /// layer costs nothing.
+    timeline: Option<Arc<Timeline>>,
 }
 
 impl Tracer {
     pub fn new(level: TraceLevel) -> Tracer {
-        Tracer { level, passes: Mutex::new(Vec::new()), dropped: AtomicU64::new(0) }
+        let timeline =
+            (level >= TraceLevel::Timeline).then(|| Arc::new(Timeline::with_env_budget()));
+        Tracer { level, passes: Mutex::new(Vec::new()), dropped: AtomicU64::new(0), timeline }
     }
 
     pub fn level(&self) -> TraceLevel {
         self.level
+    }
+
+    /// The span collector; `None` below [`TraceLevel::Timeline`].
+    pub fn timeline(&self) -> Option<&Arc<Timeline>> {
+        self.timeline.as_ref()
+    }
+
+    /// Events discarded because a timeline lane hit its budget (0 when
+    /// the timeline is off).
+    pub fn dropped_events(&self) -> u64 {
+        self.timeline.as_ref().map(|t| t.dropped_events()).unwrap_or(0)
+    }
+
+    /// Export the recorded span timeline as Chrome `trace_event` JSON
+    /// (an empty but valid document when the timeline is off).
+    pub fn export_chrome_trace(&self) -> String {
+        match &self.timeline {
+            Some(tl) => chrome::export_single("flashr", tl),
+            None => chrome::export_chrome_trace(&[]),
+        }
     }
 
     /// Whether recording at `level` is active (the one branch the engine
@@ -208,6 +262,9 @@ impl Tracer {
     pub fn clear(&self) {
         self.passes.lock().clear();
         self.dropped.store(0, Ordering::Relaxed);
+        if let Some(tl) = &self.timeline {
+            tl.clear();
+        }
     }
 }
 
@@ -220,6 +277,12 @@ pub struct ProfileReport {
     pub io: Option<IoStatsSnapshot>,
     pub passes: Vec<PassProfile>,
     pub dropped_passes: u64,
+    /// Per-pass wall-clock attribution (compute / io-wait / write-stall
+    /// / idle, stragglers, late readahead); one row per recorded pass.
+    pub critical_path: Vec<PassBreakdown>,
+    /// Timeline events discarded at the per-lane budget (0 when the
+    /// timeline is off).
+    pub dropped_events: u64,
 }
 
 impl ProfileReport {
@@ -237,6 +300,8 @@ impl ProfileReport {
         }
         o.push_str(",\"dropped_passes\":");
         push_u64(self.dropped_passes, &mut o);
+        o.push_str(",\"dropped_events\":");
+        push_u64(self.dropped_events, &mut o);
         o.push_str(",\"passes\":[");
         for (i, p) in self.passes.iter().enumerate() {
             if i > 0 {
@@ -244,8 +309,24 @@ impl ProfileReport {
             }
             pass_json(p, &mut o);
         }
+        o.push_str("],\"critical_path\":[");
+        for (i, b) in self.critical_path.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            breakdown_json(b, &mut o);
+        }
         o.push_str("]}");
         o
+    }
+
+    /// The per-pass critical-path table (same rendering in every bench
+    /// bin; empty string when no passes were recorded).
+    pub fn critical_path_table(&self) -> String {
+        if self.critical_path.is_empty() {
+            return String::new();
+        }
+        CriticalPath::table(&self.critical_path)
     }
 }
 
@@ -270,6 +351,17 @@ pub fn json_escape(s: &str, out: &mut String) {
 
 fn push_u64(v: u64, out: &mut String) {
     out.push_str(itoa(v).as_str());
+}
+
+/// Append an f64 as a JSON value. JSON has no NaN/Infinity literals, so
+/// non-finite values become `null` (matching what serde_json's
+/// `Value::from(f64::NAN)` serializes to).
+pub fn json_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
 }
 
 fn itoa(v: u64) -> String {
@@ -374,6 +466,7 @@ fn pass_json(p: &PassProfile, out: &mut String) {
     field_u64("wall_nanos", p.wall_nanos, false, out);
     field_u64("io_wait_nanos", p.io_wait_nanos(), false, out);
     field_u64("compute_nanos", p.compute_nanos(), false, out);
+    field_u64("write_stall_nanos", p.write_stall_nanos(), false, out);
     field_u64("pcache_chunks", p.pcache_chunks(), false, out);
     let (local, remote) = p.numa_split();
     field_u64("local_parts", local, false, out);
@@ -393,6 +486,7 @@ fn pass_json(p: &PassProfile, out: &mut String) {
         field_u64("remote_parts", w.remote_parts, false, out);
         field_u64("io_wait_nanos", w.io_wait_nanos, false, out);
         field_u64("compute_nanos", w.compute_nanos, false, out);
+        field_u64("write_stall_nanos", w.write_stall_nanos, false, out);
         field_u64("pcache_chunks", w.pcache_chunks, false, out);
         out.push('}');
     }
@@ -414,6 +508,28 @@ fn pass_json(p: &PassProfile, out: &mut String) {
     out.push_str("]}");
 }
 
+fn breakdown_json(b: &PassBreakdown, out: &mut String) {
+    out.push('{');
+    field_u64("pass_id", b.pass_id, true, out);
+    out.push_str(",\"engine\":");
+    json_escape(b.engine, out);
+    field_u64("nworkers", b.nworkers as u64, false, out);
+    field_u64("wall_nanos", b.wall_nanos, false, out);
+    field_u64("compute_nanos", b.compute_nanos, false, out);
+    field_u64("io_wait_nanos", b.io_wait_nanos, false, out);
+    field_u64("write_stall_nanos", b.write_stall_nanos, false, out);
+    field_u64("idle_nanos", b.idle_nanos, false, out);
+    field_u64("tasks", b.tasks, false, out);
+    field_u64("median_task_nanos", b.median_task_nanos, false, out);
+    field_u64("stragglers", b.stragglers, false, out);
+    field_u64("readahead_late", b.readahead_late, false, out);
+    out.push_str(",\"bound\":");
+    json_escape(b.bound, out);
+    out.push_str(",\"utilization\":");
+    json_f64(b.utilization(), out);
+    out.push('}');
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -425,7 +541,9 @@ mod tests {
         assert_eq!(TraceLevel::parse("Summary"), Some(TraceLevel::Summary));
         assert_eq!(TraceLevel::parse(" pass "), Some(TraceLevel::Pass));
         assert_eq!(TraceLevel::parse("OP"), Some(TraceLevel::Op));
+        assert_eq!(TraceLevel::parse("timeline"), Some(TraceLevel::Timeline));
         assert_eq!(TraceLevel::parse("bogus"), None);
+        assert!(TraceLevel::Timeline > TraceLevel::Op);
         assert!(TraceLevel::Op > TraceLevel::Pass);
         assert!(TraceLevel::Pass > TraceLevel::Summary);
         assert!(TraceLevel::Summary > TraceLevel::Off);
@@ -491,6 +609,7 @@ mod tests {
                 remote_parts: 0,
                 io_wait_nanos: 10,
                 compute_nanos: 100,
+                write_stall_nanos: 5,
                 pcache_chunks: 4,
             }],
             ops: vec![OpProfile {
@@ -507,9 +626,14 @@ mod tests {
             io: None,
             passes: t.passes(),
             dropped_passes: 0,
+            critical_path: Vec::new(),
+            dropped_events: 0,
         };
         let json = report.to_json();
         assert!(json.contains("\"engine\":\"fused\""));
+        assert!(json.contains("\"write_stall_nanos\":5"));
+        assert!(json.contains("\"dropped_events\":0"));
+        assert!(json.contains("\"critical_path\":[]"));
         assert!(json.contains("\"io\":null"));
         // escaping: the label's quotes must be escaped
         assert!(json.contains("mapply:Add \\\"x\\\""));

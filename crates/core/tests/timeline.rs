@@ -1,0 +1,228 @@
+//! Integration tests for the span-timeline layer: begin/end pairing and
+//! nesting invariants, per-lane monotonic timestamps, the event budget,
+//! allocation-free operation when tracing is off, span emission across
+//! the exec/io/cache categories on an external-memory run, and the
+//! Chrome-trace / profile-report JSON validated against a real parser.
+
+use flashr_core::fm::FM;
+use flashr_core::ops::{BinaryOp, UnaryOp};
+use flashr_core::session::{CtxConfig, ExecMode, FlashCtx, StorageClass};
+use flashr_core::trace::{json_escape, json_f64, EventKind, Timeline, TraceLevel};
+use flashr_safs::{CacheCfg, SafsConfig};
+use serde_json::Value;
+
+fn ctx_with(mode: ExecMode, trace: TraceLevel) -> FlashCtx {
+    let cfg = CtxConfig {
+        nthreads: 2,
+        mode,
+        rows_per_part: 64,
+        trace,
+        ..CtxConfig::default()
+    };
+    FlashCtx::with_config(cfg, None)
+}
+
+/// gen -> x2 -> +1 -> sqrt, then a full-sum sink: one fused pass.
+fn four_op_sum(ctx: &FlashCtx) -> f64 {
+    let x = FM::runif(ctx, 1000, 4, 0.0, 1.0, 7);
+    let y = x
+        .binary_scalar(BinaryOp::Mul, 2.0, false)
+        .binary_scalar(BinaryOp::Add, 1.0, false)
+        .unary(UnaryOp::Sqrt);
+    y.sum().value(ctx)
+}
+
+#[test]
+fn off_level_records_zero_events() {
+    let ctx = ctx_with(ExecMode::CacheFuse, TraceLevel::Off);
+    four_op_sum(&ctx);
+    // No timeline is even allocated: the hot path pays one None check.
+    assert!(ctx.tracer().timeline().is_none());
+    assert_eq!(ctx.tracer().dropped_events(), 0);
+    // The Chrome export is still a valid (empty) document.
+    let doc = ctx.export_chrome_trace();
+    let v: Value = serde_json::from_str(&doc).expect("empty trace doc parses");
+    assert_eq!(v["traceEvents"].as_array().expect("traceEvents array").len(), 0);
+    // No recorded passes => no critical-path rows either.
+    let report = ctx.profile_report();
+    assert!(report.critical_path.is_empty());
+    assert_eq!(report.dropped_events, 0);
+    assert_eq!(report.critical_path_table(), "");
+}
+
+#[test]
+fn pass_levels_below_timeline_allocate_no_timeline() {
+    let ctx = ctx_with(ExecMode::CacheFuse, TraceLevel::Op);
+    four_op_sum(&ctx);
+    assert!(ctx.tracer().timeline().is_none());
+    // But pass profiles alone still yield an aggregate breakdown.
+    let report = ctx.profile_report();
+    assert_eq!(report.critical_path.len(), 1);
+    assert!(report.critical_path_table().contains("bound"));
+}
+
+#[test]
+fn spans_pair_nest_and_stay_monotonic() {
+    let ctx = ctx_with(ExecMode::CacheFuse, TraceLevel::Timeline);
+    four_op_sum(&ctx);
+    let tl = ctx.tracer().timeline().expect("timeline level allocates one");
+    let lanes = tl.snapshot();
+    assert!(!lanes.is_empty());
+
+    // The coordinator lane carries exactly one pass window.
+    let coord = lanes.iter().find(|l| l.name == "coordinator").expect("coordinator lane");
+    let pass_begin = coord
+        .events
+        .iter()
+        .find(|e| e.kind == EventKind::Begin && e.name == "pass")
+        .expect("pass begin");
+    let pass_end = coord
+        .events
+        .iter()
+        .find(|e| e.kind == EventKind::End && e.name == "pass")
+        .expect("pass end");
+    assert!(pass_begin.ts_ns <= pass_end.ts_ns);
+
+    let mut saw_task = false;
+    for lane in &lanes {
+        // Begin/End events pair up like a well-formed bracket sequence
+        // and their record-time timestamps never go backwards.
+        let mut stack: Vec<&str> = Vec::new();
+        let mut last_ts = 0u64;
+        for ev in &lane.events {
+            match ev.kind {
+                EventKind::Begin => {
+                    assert!(ev.ts_ns >= last_ts, "lane {} went backwards", lane.name);
+                    last_ts = ev.ts_ns;
+                    stack.push(ev.name.as_ref());
+                }
+                EventKind::End => {
+                    assert!(ev.ts_ns >= last_ts, "lane {} went backwards", lane.name);
+                    last_ts = ev.ts_ns;
+                    let open = stack.pop().unwrap_or_else(|| {
+                        panic!("end '{}' without begin on lane {}", ev.name, lane.name)
+                    });
+                    assert_eq!(open, ev.name.as_ref(), "mismatched nesting on lane {}", lane.name);
+                }
+                _ => {}
+            }
+            if ev.kind == EventKind::Begin && ev.name == "task" {
+                saw_task = true;
+                // Every task span lives inside the pass window.
+                assert!(ev.ts_ns >= pass_begin.ts_ns && ev.ts_ns <= pass_end.ts_ns);
+                assert!(ev.args.contains(&("pass", 1)), "task tagged with its pass");
+            }
+        }
+        assert!(stack.is_empty(), "unmatched begins {:?} on lane {}", stack, lane.name);
+    }
+    assert!(saw_task, "workers emitted task spans");
+    assert_eq!(tl.dropped_events(), 0);
+}
+
+#[test]
+fn event_budget_enforces_cap_and_counts_drops() {
+    let tl = Timeline::new(8);
+    let lane = tl.named_lane("w");
+    for i in 0..20u64 {
+        lane.counter("c", i, i);
+    }
+    assert_eq!(tl.total_events(), 8, "lane capped at its budget");
+    assert_eq!(tl.dropped_events(), 12, "overflow counted, not silently lost");
+}
+
+#[test]
+fn em_run_emits_spans_across_categories() {
+    let dir = std::env::temp_dir().join(format!("flashr-timeline-em-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let safs = flashr_safs::Safs::open(SafsConfig::striped_under(&dir, 2)).unwrap();
+    // A page cache so reads take the cached path (hit/miss instants).
+    safs.set_page_cache(Some(CacheCfg::with_capacity(8 << 20)));
+    let cfg = CtxConfig {
+        nthreads: 2,
+        rows_per_part: 64,
+        storage: StorageClass::Em,
+        trace: TraceLevel::Timeline,
+        ..CtxConfig::default()
+    };
+    let ctx = FlashCtx::with_config(cfg, Some(safs));
+
+    // Write a matrix to the SSD array, then read it back twice so the
+    // second pass sees cache hits.
+    let x = FM::runif(&ctx, 2000, 4, 0.0, 1.0, 11).materialize(&ctx);
+    assert!(x.sum().value(&ctx).is_finite());
+    assert!(x.sum().value(&ctx).is_finite());
+
+    let tl = ctx.tracer().timeline().expect("timeline on");
+    let lanes = tl.snapshot();
+    let has = |cat: &str| lanes.iter().flat_map(|l| &l.events).any(|e| e.cat == cat);
+    assert!(has("exec"), "executor spans recorded");
+    assert!(has("io"), "SAFS I/O spans recorded");
+    assert!(has("cache"), "page-cache spans recorded");
+    // The I/O threads surface as their own named lanes.
+    assert!(lanes.iter().any(|l| l.name.starts_with("safs-io")), "io-thread lanes");
+
+    // Per-pass critical-path rows ride in the profile report.
+    let report = ctx.profile_report();
+    assert!(!report.critical_path.is_empty());
+    let table = report.critical_path_table();
+    assert!(table.contains("bound"), "table: {table}");
+
+    // The merged Chrome export parses and has >= 1 span per category.
+    let doc = ctx.export_chrome_trace();
+    let v: Value = serde_json::from_str(&doc).expect("chrome trace parses");
+    let evs = v["traceEvents"].as_array().expect("traceEvents");
+    for cat in ["exec", "io", "cache"] {
+        assert!(
+            evs.iter().any(|e| e["cat"].as_str() == Some(cat)),
+            "no {cat} span in exported trace"
+        );
+    }
+    // Report JSON also parses with a real parser, breakdown rows intact.
+    let rj: Value = serde_json::from_str(&report.to_json()).expect("report json parses");
+    let rows = rj["critical_path"].as_array().expect("critical_path array");
+    assert!(!rows.is_empty());
+    assert!(rows[0]["bound"].as_str().is_some());
+    assert!(rows[0]["wall_nanos"].as_u64().is_some());
+
+    drop(ctx);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn json_escape_edge_cases_roundtrip() {
+    // Control chars, quotes/backslashes, DEL, and non-BMP scalars must
+    // all survive a real parser round-trip.
+    for s in [
+        "a\"b\\c\nd\u{1}e\u{7f}",
+        "emoji \u{1F600} and beyond \u{10FFFF}",
+        "tab\tret\rnl\n",
+        "\u{0}\u{1f}",
+        "plain ascii",
+    ] {
+        let mut out = String::new();
+        json_escape(s, &mut out);
+        let v: Value = serde_json::from_str(&out)
+            .unwrap_or_else(|e| panic!("escaped {s:?} -> {out} unparsable: {e}"));
+        assert_eq!(v.as_str(), Some(s), "round-trip of {s:?}");
+    }
+}
+
+#[test]
+fn json_f64_nonfinite_becomes_null() {
+    for (x, null) in [
+        (f64::NAN, true),
+        (f64::INFINITY, true),
+        (f64::NEG_INFINITY, true),
+        (0.55, false),
+        (-3.25, false),
+        (0.0, false),
+    ] {
+        let mut out = String::new();
+        json_f64(x, &mut out);
+        let v: Value = serde_json::from_str(&out).expect("json_f64 output parses");
+        assert_eq!(v.is_null(), null, "value {x}");
+        if !null {
+            assert!((v.as_f64().expect("number") - x).abs() < 1e-12);
+        }
+    }
+}

@@ -52,7 +52,9 @@ pub mod prelude {
     pub use flashr_core::ops::{AggOp, BinaryOp, UnaryOp};
     pub use flashr_core::session::{CtxConfig, ExecMode, FlashCtx, MemBudget, MemGovernor, StorageClass};
     pub use flashr_core::stats::ExecStatsSnapshot;
-    pub use flashr_core::trace::{PassProfile, ProfileReport, TraceLevel};
+    pub use flashr_core::trace::{
+        CriticalPath, PassBreakdown, PassProfile, ProfileReport, Timeline, TraceLevel,
+    };
     pub use flashr_core::{DType, Scalar};
     pub use flashr_linalg::Dense;
     pub use flashr_safs::{CacheCfg, CacheStatsSnapshot, Safs, SafsConfig, ThrottleCfg};

@@ -8,6 +8,7 @@
 
 use crate::error::{SafsError, SafsResult};
 use crate::iobuf::IoBuf;
+use crate::span::{now_nanos, SpanSinkCell};
 use crate::stats::IoStats;
 use crate::throttle::Throttle;
 use crossbeam::channel::{bounded, Receiver, Sender};
@@ -31,6 +32,9 @@ pub(crate) struct IoReq {
     pub op: IoOp,
     pub done: Sender<SafsResult<IoBuf>>,
     pub context: String,
+    /// Submission timestamp ([`now_nanos`]); stamped by the runtime only
+    /// while a span sink is installed, 0 otherwise.
+    pub submit_ns: u64,
 }
 
 /// Handle to a pending asynchronous request.
@@ -71,16 +75,22 @@ pub(crate) fn io_thread_main(
     rx: Receiver<IoReq>,
     stats: Arc<IoStats>,
     throttle: Option<Arc<Throttle>>,
+    span_sink: Arc<SpanSinkCell>,
 ) {
     while let Ok(req) = rx.recv() {
+        let sink = span_sink.get();
+        let device_ns = sink.as_ref().map(|_| now_nanos());
         let started = Instant::now();
+        let is_read = matches!(req.op, IoOp::Read { .. });
+        let mut nbytes = 0u64;
         let result = match req.op {
             IoOp::Read { mut buf } => match req.file.read_exact_at(buf.as_mut_bytes(), req.offset) {
                 Ok(()) => {
                     if let Some(t) = &throttle {
                         t.charge(buf.len() as u64);
                     }
-                    stats.record_read(buf.len() as u64, started.elapsed().as_nanos() as u64);
+                    nbytes = buf.len() as u64;
+                    stats.record_read(nbytes, started.elapsed().as_nanos() as u64);
                     Ok(buf)
                 }
                 Err(e) => Err(SafsError::io(req.context, e)),
@@ -90,12 +100,34 @@ pub(crate) fn io_thread_main(
                     if let Some(t) = &throttle {
                         t.charge(buf.len() as u64);
                     }
-                    stats.record_write(buf.len() as u64, started.elapsed().as_nanos() as u64);
+                    nbytes = buf.len() as u64;
+                    stats.record_write(nbytes, started.elapsed().as_nanos() as u64);
                     Ok(buf)
                 }
                 Err(e) => Err(SafsError::io(req.context, e)),
             },
         };
+        if let (Some(sink), Some(device_ns)) = (&sink, device_ns) {
+            // The request's life splits into a queue span (submit → the
+            // I/O thread picks it up; attributed to this thread's track
+            // because only here are both timestamps known) and a device
+            // span (the blocking read/write itself).
+            let end_ns = now_nanos();
+            if req.submit_ns > 0 && req.submit_ns <= device_ns {
+                sink.span("io", "queue", req.submit_ns, device_ns, [("bytes", nbytes), ("", 0)]);
+            }
+            let name = if result.is_ok() {
+                if is_read {
+                    "read"
+                } else {
+                    "write"
+                }
+            } else {
+                "io-error"
+            };
+            sink.span("io", name, device_ns, end_ns, [("bytes", nbytes), ("", 0)]);
+            sink.counter("io-queue-depth", end_ns, stats.depth().saturating_sub(1));
+        }
         // The submitter may have dropped its ticket; that's fine.
         let _ = req.done.send(result);
         stats.queue_exit();

@@ -548,18 +548,38 @@ pub struct PendingRead {
     cache: Arc<PageCache>,
     key: CacheKey,
     ticket: Option<IoTicket>,
+    /// When tracing: where to report the blocking wait, and what to call
+    /// it ("miss-wait" for demand misses, "ra-wait" for adopted
+    /// readahead — the latter flags readahead that arrived late).
+    span: Option<(Arc<dyn crate::span::SpanSink>, &'static str)>,
 }
 
 impl PendingRead {
     pub(crate) fn new(cache: Arc<PageCache>, key: CacheKey, ticket: IoTicket) -> PendingRead {
-        PendingRead { cache, key, ticket: Some(ticket) }
+        PendingRead { cache, key, ticket: Some(ticket), span: None }
+    }
+
+    /// Attach a span sink; the blocking part of `wait()` is reported to
+    /// it as a completed `cache`/`kind` span.
+    pub(crate) fn with_span(
+        mut self,
+        sink: Option<Arc<dyn crate::span::SpanSink>>,
+        kind: &'static str,
+    ) -> PendingRead {
+        self.span = sink.map(|s| (s, kind));
+        self
     }
 
     /// Wait for the device, publish into the cache, wake coalesced
     /// readers. On failure the placeholder is cleared instead.
     pub fn wait(mut self) -> SafsResult<Arc<IoBuf>> {
         let ticket = self.ticket.take().expect("PendingRead waited twice");
-        match ticket.wait() {
+        let t0 = self.span.as_ref().map(|_| crate::span::now_nanos());
+        let result = ticket.wait();
+        if let (Some((sink, kind)), Some(t0)) = (&self.span, t0) {
+            sink.span("cache", kind, t0, crate::span::now_nanos(), [("part", self.key.1), ("", 0)]);
+        }
+        match result {
             Ok(buf) => Ok(self.cache.complete(self.key, buf)),
             Err(e) => {
                 self.cache.abort(self.key);

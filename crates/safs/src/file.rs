@@ -6,6 +6,7 @@ use crate::iobuf::IoBuf;
 use crate::error::{SafsError, SafsResult};
 use crate::layout::Striping;
 use crate::runtime::RtInner;
+use crate::span::now_nanos;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::PathBuf;
@@ -221,6 +222,7 @@ impl SafsFile {
                 op: IoOp::Read { buf },
                 done: tx,
                 context: format!("read {}[{part}]", self.inner.name),
+                submit_ns: 0,
             },
         );
         Ok(ticket)
@@ -260,13 +262,20 @@ impl SafsFile {
         // for a partition that cannot be read.
         self.part_len(part)?;
         let key = (self.inner.uid, part);
+        let sink = self.inner.rt.span_sink();
         loop {
             match cache.lookup(key) {
                 Lookup::Hit(buf) => {
+                    if let Some(s) = &sink {
+                        s.instant("cache", "hit", now_nanos(), [("part", part), ("", 0)]);
+                    }
                     self.issue_readahead(&cache, part);
                     return Ok(CachedFetch::Ready(buf));
                 }
                 Lookup::MustRead => {
+                    if let Some(s) = &sink {
+                        s.instant("cache", "miss", now_nanos(), [("part", part), ("", 0)]);
+                    }
                     let ticket = match self.read_part_async(part) {
                         Ok(t) => t,
                         Err(e) => {
@@ -275,20 +284,36 @@ impl SafsFile {
                         }
                     };
                     self.issue_readahead(&cache, part);
-                    return Ok(CachedFetch::Pending(PendingRead::new(cache, key, ticket)));
+                    return Ok(CachedFetch::Pending(
+                        PendingRead::new(cache, key, ticket).with_span(sink, "miss-wait"),
+                    ));
                 }
                 Lookup::Adopted(ticket) => {
-                    self.issue_readahead(&cache, part);
-                    return Ok(CachedFetch::Pending(PendingRead::new(cache, key, ticket)));
-                }
-                Lookup::Shared => match cache.wait_shared(key) {
-                    SharedOutcome::Ready(buf) => return Ok(CachedFetch::Ready(buf)),
-                    SharedOutcome::Adopted(ticket) => {
-                        return Ok(CachedFetch::Pending(PendingRead::new(cache, key, ticket)))
+                    if let Some(s) = &sink {
+                        s.instant("cache", "ra-adopt", now_nanos(), [("part", part), ("", 0)]);
                     }
-                    // The owning reader aborted; race for ownership again.
-                    SharedOutcome::Gone => continue,
-                },
+                    self.issue_readahead(&cache, part);
+                    return Ok(CachedFetch::Pending(
+                        PendingRead::new(cache, key, ticket).with_span(sink, "ra-wait"),
+                    ));
+                }
+                Lookup::Shared => {
+                    let t0 = sink.as_ref().map(|_| now_nanos());
+                    let outcome = cache.wait_shared(key);
+                    if let (Some(s), Some(t0)) = (&sink, t0) {
+                        s.span("cache", "shared-wait", t0, now_nanos(), [("part", part), ("", 0)]);
+                    }
+                    match outcome {
+                        SharedOutcome::Ready(buf) => return Ok(CachedFetch::Ready(buf)),
+                        SharedOutcome::Adopted(ticket) => {
+                            return Ok(CachedFetch::Pending(
+                                PendingRead::new(cache, key, ticket).with_span(sink, "ra-wait"),
+                            ))
+                        }
+                        // The owning reader aborted; race for ownership again.
+                        SharedOutcome::Gone => continue,
+                    }
+                }
             }
         }
     }
@@ -305,7 +330,12 @@ impl SafsFile {
         for p in cache.plan_readahead(self.inner.uid, part, self.inner.nparts) {
             let key = (self.inner.uid, p);
             match self.read_part_async(p) {
-                Ok(ticket) => cache.park_readahead(key, ticket),
+                Ok(ticket) => {
+                    if let Some(s) = self.inner.rt.span_sink() {
+                        s.instant("cache", "readahead", now_nanos(), [("part", p), ("", 0)]);
+                    }
+                    cache.park_readahead(key, ticket)
+                }
                 Err(_) => cache.abort(key),
             }
         }
@@ -334,6 +364,7 @@ impl SafsFile {
                 op: IoOp::Write { buf },
                 done: tx,
                 context: format!("write {}[{part}]", self.inner.name),
+                submit_ns: 0,
             },
         );
         Ok(ticket)

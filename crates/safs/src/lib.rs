@@ -42,6 +42,7 @@ mod file;
 mod iobuf;
 mod layout;
 mod runtime;
+mod span;
 mod stats;
 mod throttle;
 
@@ -53,4 +54,5 @@ pub use file::SafsFile;
 pub use iobuf::{IoBuf, Pod};
 pub use layout::Striping;
 pub use runtime::Safs;
+pub use span::{now_nanos, SpanArgs, SpanSink, NO_ARGS};
 pub use stats::{IoStats, IoStatsSnapshot, LatencyHisto, LatencyHistoSnapshot, LAT_BUCKETS};

@@ -6,6 +6,7 @@ use crate::config::SafsConfig;
 use crate::error::{SafsError, SafsResult};
 use crate::file::{FileInner, SafsFile};
 use crate::layout::Striping;
+use crate::span::{now_nanos, SpanSink, SpanSinkCell};
 use crate::stats::{IoStats, IoStatsSnapshot};
 use crate::throttle::Throttle;
 use crossbeam::channel::{unbounded, Sender};
@@ -33,6 +34,7 @@ pub(crate) struct RtInner {
     stats: Arc<IoStats>,
     name_counter: AtomicU64,
     page_cache: Mutex<Option<Arc<PageCache>>>,
+    span_sink: Arc<SpanSinkCell>,
 }
 
 impl Drop for RtInner {
@@ -47,8 +49,12 @@ impl Drop for RtInner {
 }
 
 impl RtInner {
-    pub(crate) fn submit(&self, disk: usize, req: IoReq) {
+    pub(crate) fn submit(&self, disk: usize, mut req: IoReq) {
         self.stats.queue_enter();
+        if let Some(sink) = self.span_sink.get() {
+            req.submit_ns = now_nanos();
+            sink.counter("io-queue-depth", req.submit_ns, self.stats.depth());
+        }
         // The queue only disconnects when RtInner is dropped, which cannot
         // happen while a file (which holds an Arc to us) is submitting.
         self.queues[disk].send(req).expect("I/O queue closed while runtime alive");
@@ -65,6 +71,12 @@ impl RtInner {
     /// The installed page cache, if any (cheap clone of an `Arc`).
     pub(crate) fn page_cache(&self) -> Option<Arc<PageCache>> {
         self.page_cache.lock().clone()
+    }
+
+    /// The installed span sink, if any (one relaxed load when tracing is
+    /// off).
+    pub(crate) fn span_sink(&self) -> Option<Arc<dyn SpanSink>> {
+        self.span_sink.get()
     }
 }
 
@@ -85,6 +97,7 @@ impl Safs {
                 .map_err(|e| SafsError::io(format!("creating disk dir {}", dir.display()), e))?;
         }
         let stats = Arc::new(IoStats::default());
+        let span_sink = Arc::new(SpanSinkCell::default());
         let mut queues = Vec::with_capacity(cfg.disks.len());
         let mut threads = Vec::new();
         for disk in 0..cfg.disks.len() {
@@ -95,9 +108,10 @@ impl Safs {
                 let rx = rx.clone();
                 let stats = stats.clone();
                 let throttle = throttle.clone();
+                let sink = span_sink.clone();
                 let handle = std::thread::Builder::new()
                     .name(format!("safs-io-d{disk}t{t}"))
-                    .spawn(move || io_thread_main(rx, stats, throttle))
+                    .spawn(move || io_thread_main(rx, stats, throttle, sink))
                     .map_err(|e| SafsError::io("spawning I/O thread", e))?;
                 threads.push(handle);
             }
@@ -111,6 +125,7 @@ impl Safs {
                 stats,
                 name_counter: AtomicU64::new(0),
                 page_cache: Mutex::new(None),
+                span_sink,
             }),
         };
         safs.set_page_cache(cache_cfg);
@@ -123,6 +138,14 @@ impl Safs {
     pub fn set_page_cache(&self, cfg: Option<CacheCfg>) {
         let cache = cfg.filter(|c| c.capacity_bytes > 0).map(|c| Arc::new(PageCache::new(c)));
         *self.inner.page_cache.lock() = cache;
+    }
+
+    /// Install (or, with `None`, remove) a receiver for I/O and cache
+    /// lifecycle spans. The sink is shared with the I/O threads, so it
+    /// takes effect immediately; with no sink installed the hot paths pay
+    /// one relaxed atomic load.
+    pub fn set_span_sink(&self, sink: Option<Arc<dyn SpanSink>>) {
+        self.inner.span_sink.set(sink);
     }
 
     /// Capacity of the installed page cache in bytes (0 when none).

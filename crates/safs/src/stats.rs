@@ -174,6 +174,11 @@ impl IoStats {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
     }
 
+    /// Current in-flight request count (for queue-depth counter spans).
+    pub(crate) fn depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
     /// Copy out the current counter values.
     pub fn snapshot(&self) -> IoStatsSnapshot {
         IoStatsSnapshot {

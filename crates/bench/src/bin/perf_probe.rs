@@ -17,8 +17,9 @@
 
 use flashr::prelude::*;
 use flashr_bench::{
-    bench_artifact_json_sections, bench_trace_level, maybe_export_trace, print_critical_path,
-    save_bench_artifact, scratch_dir, BenchStage,
+    bench_artifact_json_sections, bench_trace_level, host_section_json, maybe_dump_flight,
+    maybe_export_trace, print_critical_path, save_bench_artifact, scrape_own_metrics, scratch_dir,
+    BenchStage,
 };
 use std::time::Instant;
 
@@ -27,7 +28,11 @@ fn main() {
     // pass-profile summary is the point of the probe. `--trace-out` or
     // `FLASHR_TRACE_OUT` raise it to timeline spans.
     let level = bench_trace_level();
-    let ctx = FlashCtx::in_memory().with_trace(level);
+    // One-step construction (not `in_memory().with_trace(..)`): builder
+    // methods make a throwaway context, and the first context to exist
+    // claims `FLASHR_METRICS_ADDR` — the scrape listener must live on
+    // this one for the self-scrape at the bottom.
+    let ctx = FlashCtx::with_config(CtxConfig { trace: level, ..Default::default() }, None);
     let n = 2_000_000u64;
     let p = 16usize;
     let bytes = (n * p as u64 * 8) as f64;
@@ -162,9 +167,15 @@ fn main() {
     flashr::core::trace::cache_json(&cache, &mut cache_section);
 
     let report = ctx.profile_report();
+    let host_section = host_section_json(
+        ctx.cfg().nthreads,
+        ctx.cfg().numa_nodes,
+        em_ctx.safs().map(|s| s.page_cache_capacity()).unwrap_or(0),
+    );
     let sections = [
         ("analysis", analysis.to_json()),
         ("cache", cache_section),
+        ("host", host_section),
         ("map_chain", map_chain_section),
     ];
     let path = save_bench_artifact(
@@ -182,6 +193,13 @@ fn main() {
         ("map-chain-unfused", &unfused_ctx),
         ("em-cache", &em_ctx),
     ]);
+
+    // With FLASHR_METRICS_ADDR set, the main context bound the scrape
+    // listener at startup; save one exposition for CI to validate. With
+    // FLASHR_FLIGHT_OUT set, also force a flight dump for the artifact
+    // upload.
+    let _ = scrape_own_metrics(&ctx);
+    maybe_dump_flight(&ctx);
 
     println!(
         "\n{} passes profiled (trace={level:?}); artifact written to {}",

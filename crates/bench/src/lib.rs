@@ -240,6 +240,56 @@ pub fn bench_artifact_json_sections(
     out
 }
 
+/// The `"host"` section for bench artifacts: the machine and build facts
+/// needed to interpret absolute throughput numbers (and printed by
+/// `scripts/bench_check` when a gate fails).
+pub fn host_section_json(workers: usize, numa_nodes: usize, page_cache_capacity_bytes: u64) -> String {
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0);
+    format!(
+        "{{\"cpus\":{cpus},\"workers\":{workers},\"numa_nodes\":{numa_nodes},\
+         \"page_cache_capacity_bytes\":{page_cache_capacity_bytes},\"build_profile\":\"{}\"}}",
+        if cfg!(debug_assertions) { "debug" } else { "release" },
+    )
+}
+
+/// Fetch this process's own `/metrics` endpoint — live only when the
+/// context claimed `FLASHR_METRICS_ADDR` — and write the exposition to
+/// `flashr-metrics.prom` in the current directory. CI validates that
+/// file with `scripts/check_prometheus`. Returns the path written.
+pub fn scrape_own_metrics(ctx: &FlashCtx) -> Option<PathBuf> {
+    use std::io::{Read, Write};
+    let addr = ctx.metrics_addr()?;
+    let mut s = std::net::TcpStream::connect(addr).ok()?;
+    write!(s, "GET /metrics HTTP/1.1\r\nHost: bench\r\n\r\n").ok()?;
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).ok()?;
+    if !resp.starts_with("HTTP/1.1 200") {
+        eprintln!("warning: self-scrape returned {}", resp.lines().next().unwrap_or(""));
+        return None;
+    }
+    let (_, body) = resp.split_once("\r\n\r\n")?;
+    let path = PathBuf::from("flashr-metrics.prom");
+    match std::fs::write(&path, body) {
+        Ok(()) => {
+            println!("metrics exposition written to {} ({} bytes)", path.display(), body.len());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("warning: could not write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Force a flight-recorder dump at bench exit when `FLASHR_FLIGHT_OUT`
+/// is set, so CI archives a real dump as a workflow artifact even on a
+/// healthy run.
+pub fn maybe_dump_flight(ctx: &FlashCtx) {
+    if std::env::var_os("FLASHR_FLIGHT_OUT").is_some_and(|v| !v.is_empty()) {
+        let _ = ctx.flight_recorder().dump_now("bench-exit");
+    }
+}
+
 /// Write `BENCH_<name>.json` into the current directory (CI smoke-runs
 /// parse these) and return the path.
 pub fn save_bench_artifact(name: &str, json: &str) -> PathBuf {

@@ -73,6 +73,14 @@ pub fn run(ctx: &FlashCtx, targets: &[Target]) -> Vec<TargetResult> {
                 [("node", node.id), ("", 0)],
             );
         }
+        // The flight recorder keeps the same marker in its bounded ring
+        // regardless of trace level, so a post-mortem dump shows which
+        // step the eager engine was in.
+        ctx.flight_recorder().named_lane("coordinator").instant(
+            "exec",
+            format!("eager-step:{}", node.label()),
+            [("node", node.id), ("", 0)],
+        );
         // Materialize this single operation; its children are leaves or
         // already in `resolved`, so the "fused" pass contains one op.
         let result = fused::run_labeled(

@@ -14,6 +14,7 @@ use crate::exec::cumcoord::CumCoord;
 use crate::exec::plan::Plan;
 use crate::exec::{SinkAcc, Target, TargetResult};
 use crate::mat::{Layout, PartFetch, TasMat};
+use crate::metrics::FlightRecorder;
 use crate::ops;
 use crate::part::pcache_ranges;
 use crate::session::{ExecMode, FlashCtx, StorageClass};
@@ -74,6 +75,8 @@ struct Shared<'a> {
     trace: Option<&'a PassAgg>,
     /// Span timeline; `Some` only at [`TraceLevel::Timeline`].
     timeline: Option<&'a Timeline>,
+    /// Always-on bounded ring of recent task/pass spans.
+    flight: &'a FlightRecorder,
     pass_id: u64,
 }
 
@@ -170,6 +173,7 @@ pub(crate) fn run_labeled(
         merged: Mutex::new((0..plan.sinks.len()).map(|_| None).collect()),
         trace: agg.as_ref(),
         timeline: tracer.timeline().map(|t| t.as_ref()),
+        flight: ctx.flight_recorder(),
         pass_id,
     };
 
@@ -179,6 +183,7 @@ pub(crate) fn run_labeled(
     if let Some(l) = coord.as_ref() {
         l.begin("exec", "pass", [("pass", pass_id), ("nparts", nparts)]);
     }
+    let pass_begin_ns = now_nanos();
     std::thread::scope(|scope| {
         for tid in 0..nthreads {
             let shared = &shared;
@@ -194,6 +199,13 @@ pub(crate) fn run_labeled(
     if let Some(l) = coord.as_ref() {
         l.end("exec", "pass");
     }
+    shared.flight.named_lane("coordinator").complete(
+        "exec",
+        "pass",
+        pass_begin_ns,
+        now_nanos(),
+        [("pass", pass_id), ("nparts", nparts)],
+    );
 
     // Finalize.
     let mut results: Vec<Option<TargetResult>> = (0..targets.len()).map(|_| None).collect();
@@ -316,12 +328,15 @@ fn worker(tid: usize, shared: &Shared<'_>) {
     let mut pending_writes: Vec<IoTicket> = Vec::new();
     let max_pending = shared.ctx.cfg().max_pending_writes.max(1);
     let stats = shared.ctx.stats();
-    // Tracing is cheap-when-disabled: `wp` is None unless the tracer is
-    // at `pass` level, and every `Instant::now()` hides behind it.
+    // `wp` is None unless the tracer is at `pass` level; the time
+    // breakdown itself is always taken (two clock reads per phase) and
+    // feeds the `ExecStats` nanos counters and the flight recorder.
     let mut wp = shared.trace.map(|_| WorkerProfile { tid, ..WorkerProfile::default() });
     // Timeline lane for this worker, resolved once by thread name.
     let lane = shared.timeline.map(|tl| tl.lane());
     let lane = lane.as_deref();
+    // Always-on bounded ring for the same thread name.
+    let flane = shared.flight.lane();
 
     loop {
         let (parts, local) = claim(shared, my_node);
@@ -357,6 +372,7 @@ fn worker(tid: usize, shared: &Shared<'_>) {
             .collect();
 
         for (idx, &part) in parts.iter().enumerate() {
+            let task_begin_ns = now_nanos();
             if let Some(l) = lane {
                 l.begin("exec", "task", [("part", part), ("pass", shared.pass_id)]);
             }
@@ -364,7 +380,7 @@ fn worker(tid: usize, shared: &Shared<'_>) {
             // only, so the remaining slots keep streaming instead of
             // stalling the worker behind every outstanding write.
             if pending_writes.len() >= max_pending {
-                let ws_t0 = wp.as_ref().map(|_| Instant::now());
+                let ws_t0 = Instant::now();
                 if let Some(l) = lane {
                     l.begin("exec", "write-stall", NO_ARGS);
                 }
@@ -374,11 +390,13 @@ fn worker(tid: usize, shared: &Shared<'_>) {
                 if let Some(l) = lane {
                     l.end("exec", "write-stall");
                 }
-                if let (Some(wp), Some(t0)) = (wp.as_mut(), ws_t0) {
-                    wp.write_stall_nanos += t0.elapsed().as_nanos() as u64;
+                let nanos = ws_t0.elapsed().as_nanos() as u64;
+                stats.add(&stats.write_stall_nanos, nanos);
+                if let Some(wp) = wp.as_mut() {
+                    wp.write_stall_nanos += nanos;
                 }
             }
-            let io_t0 = wp.as_ref().map(|_| Instant::now());
+            let io_t0 = Instant::now();
             if let Some(l) = lane {
                 l.begin("exec", "io-wait", NO_ARGS);
             }
@@ -393,10 +411,12 @@ fn worker(tid: usize, shared: &Shared<'_>) {
             if let Some(l) = lane {
                 l.end("exec", "io-wait");
             }
-            if let (Some(wp), Some(t0)) = (wp.as_mut(), io_t0) {
-                wp.io_wait_nanos += t0.elapsed().as_nanos() as u64;
+            let nanos = io_t0.elapsed().as_nanos() as u64;
+            stats.add(&stats.io_wait_nanos, nanos);
+            if let Some(wp) = wp.as_mut() {
+                wp.io_wait_nanos += nanos;
             }
-            let compute_t0 = wp.as_ref().map(|_| Instant::now());
+            let compute_t0 = Instant::now();
             if let Some(l) = lane {
                 l.begin("exec", "compute", NO_ARGS);
             }
@@ -412,13 +432,22 @@ fn worker(tid: usize, shared: &Shared<'_>) {
             if let Some(l) = lane {
                 l.end("exec", "compute");
             }
-            if let (Some(wp), Some(t0)) = (wp.as_mut(), compute_t0) {
-                wp.compute_nanos += t0.elapsed().as_nanos() as u64;
+            let nanos = compute_t0.elapsed().as_nanos() as u64;
+            stats.add(&stats.compute_nanos, nanos);
+            if let Some(wp) = wp.as_mut() {
+                wp.compute_nanos += nanos;
                 wp.pcache_chunks += chunks;
             }
             if let Some(l) = lane {
                 l.end("exec", "task");
             }
+            flane.complete(
+                "exec",
+                "task",
+                task_begin_ns,
+                now_nanos(),
+                [("part", part), ("pass", shared.pass_id)],
+            );
             stats.add(&stats.parts, 1);
         }
     }
@@ -426,7 +455,7 @@ fn worker(tid: usize, shared: &Shared<'_>) {
     // Drain the remaining EM output writes: a write stall, not leaf-read
     // I/O wait.
     if !pending_writes.is_empty() {
-        let ws_t0 = wp.as_ref().map(|_| Instant::now());
+        let ws_t0 = Instant::now();
         if let Some(l) = lane {
             l.begin("exec", "write-stall", NO_ARGS);
         }
@@ -436,8 +465,10 @@ fn worker(tid: usize, shared: &Shared<'_>) {
         if let Some(l) = lane {
             l.end("exec", "write-stall");
         }
-        if let (Some(wp), Some(t0)) = (wp.as_mut(), ws_t0) {
-            wp.write_stall_nanos += t0.elapsed().as_nanos() as u64;
+        let nanos = ws_t0.elapsed().as_nanos() as u64;
+        stats.add(&stats.write_stall_nanos, nanos);
+        if let Some(wp) = wp.as_mut() {
+            wp.write_stall_nanos += nanos;
         }
     }
 

@@ -42,6 +42,7 @@ pub mod fm;
 pub mod gen;
 pub mod io;
 pub mod mat;
+pub mod metrics;
 pub mod ops;
 pub mod part;
 pub mod session;
@@ -51,5 +52,6 @@ pub mod trace;
 pub use analysis::{AnalysisReport, FootprintEstimate, Lint, PlanError, PlanErrorKind};
 pub use dtype::{DType, Scalar};
 pub use fm::FM;
+pub use metrics::{FlightRecorder, MetricsHub, MetricsServer};
 pub use session::{CtxConfig, ExecMode, FlashCtx, StorageClass};
 pub use trace::{CriticalPath, PassBreakdown, PassProfile, ProfileReport, Timeline, TraceLevel};

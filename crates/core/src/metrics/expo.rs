@@ -1,0 +1,181 @@
+//! Prometheus text-format (0.0.4) exposition.
+//!
+//! Hand-rolled like the JSON writer in [`crate::trace`]: flashr-core
+//! takes no serialization dependency. Per family: one `# HELP` line, one
+//! `# TYPE` line, then every series. Histograms expand to cumulative
+//! `_bucket{le="..."}` lines ending at `le="+Inf"`, plus `_sum` and
+//! `_count`, following the exposition-format spec. Durations are
+//! nanoseconds throughout (families carry an `_ns` marker in their
+//! names), so `le` bounds are the histogram's power-of-two upper bounds
+//! printed as integers.
+
+use super::{FamilySamples, LabelSet, SampleValue};
+use flashr_safs::{LatencyHisto, LatencyHistoSnapshot, LAT_BUCKETS};
+
+/// Render the grouped families to one exposition document.
+pub fn render(families: &[FamilySamples]) -> String {
+    let mut out = String::with_capacity(4096);
+    for f in families {
+        out.push_str("# HELP ");
+        out.push_str(f.name);
+        out.push(' ');
+        escape_help(f.help, &mut out);
+        out.push('\n');
+        out.push_str("# TYPE ");
+        out.push_str(f.name);
+        out.push(' ');
+        out.push_str(f.kind.as_str());
+        out.push('\n');
+        for (labels, value) in &f.series {
+            match value {
+                SampleValue::Counter(v) | SampleValue::Gauge(v) => {
+                    series_line(f.name, labels, None, *v, &mut out);
+                }
+                SampleValue::Histogram(h) => histogram_lines(f.name, labels, h, &mut out),
+            }
+        }
+    }
+    out
+}
+
+/// One `name{labels} value` line; `extra` appends one more label pair
+/// (the histogram `le`).
+fn series_line(
+    name: &str,
+    labels: &LabelSet,
+    extra: Option<(&str, &str)>,
+    value: u64,
+    out: &mut String,
+) {
+    out.push_str(name);
+    if !labels.is_empty() || extra.is_some() {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in labels {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_label_value(v, out);
+            out.push('"');
+        }
+        if let Some((k, v)) = extra {
+            if !first {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_label_value(v, out);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+/// The cumulative bucket / sum / count expansion of one histogram series.
+fn histogram_lines(name: &str, labels: &LabelSet, h: &LatencyHistoSnapshot, out: &mut String) {
+    let bucket_name = format!("{name}_bucket");
+    let mut cum = 0u64;
+    for i in 0..LAT_BUCKETS {
+        cum += h.buckets[i];
+        let (_, hi) = LatencyHisto::bucket_bounds(i);
+        let le = if i == LAT_BUCKETS - 1 { "+Inf".to_string() } else { hi.to_string() };
+        series_line(&bucket_name, labels, Some(("le", &le)), cum, out);
+    }
+    series_line(&format!("{name}_sum"), labels, None, h.sum, out);
+    series_line(&format!("{name}_count"), labels, None, cum, out);
+}
+
+/// HELP text: escape backslash and newline (spec rules for help lines).
+fn escape_help(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Label values: escape backslash, double-quote and newline.
+fn escape_label_value(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricKind;
+
+    #[test]
+    fn counter_and_gauge_lines() {
+        let fams = vec![
+            FamilySamples {
+                name: "a_total",
+                help: "a counter",
+                kind: MetricKind::Counter,
+                series: vec![
+                    (vec![], SampleValue::Counter(3)),
+                    (vec![("op", "read".into())], SampleValue::Counter(5)),
+                ],
+            },
+            FamilySamples {
+                name: "b_bytes",
+                help: "line1\nline2 with \\slash",
+                kind: MetricKind::Gauge,
+                series: vec![(vec![("q", "x\"y".into())], SampleValue::Gauge(9))],
+            },
+        ];
+        let text = render(&fams);
+        assert!(text.contains("# HELP a_total a counter\n"));
+        assert!(text.contains("# TYPE a_total counter\n"));
+        assert!(text.contains("\na_total 3\n"));
+        assert!(text.contains("a_total{op=\"read\"} 5\n"));
+        assert!(text.contains("# HELP b_bytes line1\\nline2 with \\\\slash\n"));
+        assert!(text.contains("b_bytes{q=\"x\\\"y\"} 9\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let h = LatencyHisto::default();
+        h.record(1); // bucket 0
+        h.record(2); // bucket 1
+        h.record(3); // bucket 1
+        h.record(u64::MAX); // top bucket
+        let fams = vec![FamilySamples {
+            name: "lat_ns",
+            help: "h",
+            kind: MetricKind::Histogram,
+            series: vec![(
+                vec![("op", "read".into())],
+                SampleValue::Histogram(Box::new(h.snapshot())),
+            )],
+        }];
+        let text = render(&fams);
+        assert!(text.contains("lat_ns_bucket{op=\"read\",le=\"2\"} 1\n"), "{text}");
+        assert!(text.contains("lat_ns_bucket{op=\"read\",le=\"4\"} 3\n"), "{text}");
+        assert!(text.contains("lat_ns_bucket{op=\"read\",le=\"+Inf\"} 4\n"), "{text}");
+        assert!(text.contains("lat_ns_count{op=\"read\"} 4\n"), "{text}");
+        let sum = u64::MAX.wrapping_add(6); // fetch_add wraps
+        assert!(text.contains(&format!("lat_ns_sum{{op=\"read\"}} {sum}\n")), "{text}");
+        // Cumulative counts never decrease down the bucket list.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.starts_with("lat_ns_bucket")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "bucket counts must be cumulative: {line}");
+            last = v;
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Scrape-time collectors over the engine's existing stat structs.
+//!
+//! The executors, the memory governor and the SAFS runtime already keep
+//! lock-free counters ([`ExecStats`], the governor's atomics,
+//! [`flashr_safs::IoStats`] and the per-shard cache stats); these sources
+//! snapshot them into [`Sample`]s when the hub is scraped, so the hot
+//! paths pay nothing beyond what they already paid. Each source owns its
+//! own `Arc`/clone of the underlying struct — never the context — so the
+//! hub creates no reference cycles.
+//!
+//! Naming follows Prometheus conventions: `flashr_` prefix, `_total`
+//! counters, `_bytes`/`_ns` unit markers, static label names
+//! (`op="read"|"write"`, `numa="local"|"remote"`, `shard="<n>"`,
+//! `event="<cache event>"`).
+
+use super::{MetricSource, Sample};
+use crate::session::MemGovernor;
+use crate::stats::ExecStats;
+use flashr_safs::Safs;
+use std::sync::Arc;
+
+/// Executor counters: passes, partitions, NUMA locality, fused-chain
+/// savings and the worker time breakdown.
+pub struct ExecStatsSource(pub Arc<ExecStats>);
+
+impl MetricSource for ExecStatsSource {
+    fn collect(&self, out: &mut Vec<Sample>) {
+        let s = self.0.snapshot();
+        out.push(Sample::counter(
+            "flashr_exec_passes_total",
+            "Materialization passes over the data.",
+            vec![],
+            s.passes,
+        ));
+        out.push(Sample::counter(
+            "flashr_exec_parts_total",
+            "I/O partitions processed across all passes and workers.",
+            vec![],
+            s.parts,
+        ));
+        out.push(Sample::counter(
+            "flashr_exec_pcache_chunks_total",
+            "Pcache chunks evaluated.",
+            vec![],
+            s.pcache_chunks,
+        ));
+        out.push(Sample::counter(
+            "flashr_exec_parts_numa_total",
+            "Partitions by whether the worker's NUMA node matched the partition's.",
+            vec![("numa", "local".into())],
+            s.local_parts,
+        ));
+        out.push(Sample::counter(
+            "flashr_exec_parts_numa_total",
+            "Partitions by whether the worker's NUMA node matched the partition's.",
+            vec![("numa", "remote".into())],
+            s.remote_parts,
+        ));
+        out.push(Sample::counter(
+            "flashr_exec_nanos_total",
+            "Wall nanoseconds spent inside materialization.",
+            vec![],
+            s.exec_nanos,
+        ));
+        out.push(Sample::counter(
+            "flashr_exec_node_chunks_total",
+            "Chunks freshly produced by node evaluation (memo hits excluded).",
+            vec![],
+            s.node_chunks,
+        ));
+        out.push(Sample::counter(
+            "flashr_exec_node_chunk_bytes_total",
+            "Bytes of freshly produced chunks.",
+            vec![],
+            s.node_chunk_bytes,
+        ));
+        out.push(Sample::counter(
+            "flashr_exec_fused_chains_total",
+            "Fused chain kernels executed.",
+            vec![],
+            s.fused_chains,
+        ));
+        out.push(Sample::counter(
+            "flashr_exec_fused_saved_bytes_total",
+            "Bytes of intermediate chunks chain fusion skipped allocating.",
+            vec![],
+            s.fused_saved_bytes,
+        ));
+        out.push(Sample::counter(
+            "flashr_exec_io_wait_nanos_total",
+            "Worker nanoseconds blocked waiting for partition reads.",
+            vec![],
+            s.io_wait_nanos,
+        ));
+        out.push(Sample::counter(
+            "flashr_exec_compute_nanos_total",
+            "Worker nanoseconds spent evaluating kernels.",
+            vec![],
+            s.compute_nanos,
+        ));
+        out.push(Sample::counter(
+            "flashr_exec_write_stall_nanos_total",
+            "Worker nanoseconds stalled on result write-back.",
+            vec![],
+            s.write_stall_nanos,
+        ));
+    }
+}
+
+/// Memory-governor budget, pins and spill counters.
+pub struct GovernorSource(pub MemGovernor);
+
+impl MetricSource for GovernorSource {
+    fn collect(&self, out: &mut Vec<Sample>) {
+        out.push(Sample::gauge(
+            "flashr_mem_budget_bytes",
+            "Configured memory budget (0 = unlimited).",
+            vec![],
+            self.0.budget_bytes(),
+        ));
+        out.push(Sample::gauge(
+            "flashr_mem_pinned_bytes",
+            "Bytes currently pinned by materializations.",
+            vec![],
+            self.0.pinned_bytes(),
+        ));
+        out.push(Sample::counter(
+            "flashr_mem_spills_total",
+            "Chunks the governor pushed to external storage.",
+            vec![],
+            self.0.spills(),
+        ));
+        out.push(Sample::counter(
+            "flashr_mem_overcommits_total",
+            "Pins admitted above budget because nothing was evictable.",
+            vec![],
+            self.0.overcommits(),
+        ));
+    }
+}
+
+/// SAFS device I/O, queue depth, throttle and per-shard page-cache
+/// counters.
+pub struct SafsSource(pub Safs);
+
+impl MetricSource for SafsSource {
+    fn collect(&self, out: &mut Vec<Sample>) {
+        let io = self.0.stats_snapshot();
+        for (op, bytes, reqs, nanos, lat) in [
+            ("read", io.read_bytes, io.read_reqs, io.read_nanos, &io.read_lat),
+            ("write", io.write_bytes, io.write_reqs, io.write_nanos, &io.write_lat),
+        ] {
+            let l = || vec![("op", op.to_string())];
+            out.push(Sample::counter(
+                "flashr_io_bytes_total",
+                "Bytes moved through the (emulated) SSD array.",
+                l(),
+                bytes,
+            ));
+            out.push(Sample::counter(
+                "flashr_io_requests_total",
+                "Requests completed by the I/O threads.",
+                l(),
+                reqs,
+            ));
+            out.push(Sample::counter(
+                "flashr_io_nanos_total",
+                "Device-side nanoseconds summed over requests.",
+                l(),
+                nanos,
+            ));
+            out.push(Sample::histogram(
+                "flashr_io_latency_ns",
+                "Per-request device latency (log2 buckets, nanoseconds).",
+                l(),
+                *lat,
+            ));
+        }
+        out.push(Sample::counter(
+            "flashr_io_throttle_wait_nanos_total",
+            "Nanoseconds I/O threads slept in the bandwidth throttle.",
+            vec![],
+            io.throttle_wait_nanos,
+        ));
+        out.push(Sample::gauge(
+            "flashr_io_queue_depth",
+            "Requests currently in flight across the I/O queues.",
+            vec![],
+            io.cur_queue_depth,
+        ));
+        out.push(Sample::gauge(
+            "flashr_io_queue_depth_max",
+            "Deepest the I/O queues have run since the runtime started.",
+            vec![],
+            io.max_queue_depth,
+        ));
+        out.push(Sample::gauge(
+            "flashr_cache_capacity_bytes",
+            "Configured page-cache capacity (0 = no cache).",
+            vec![],
+            self.0.page_cache_capacity(),
+        ));
+        for (i, c) in self.0.cache_shard_snapshots().iter().enumerate() {
+            let shard = i.to_string();
+            let l = |event: &str| vec![("shard", shard.clone()), ("event", event.to_string())];
+            const HELP: &str = "Page-cache events by shard and kind.";
+            for (event, v) in [
+                ("hit", c.hits),
+                ("miss", c.misses),
+                ("coalesced", c.coalesced),
+                ("bypass", c.bypasses),
+                ("insert", c.inserts),
+                ("evict", c.evictions),
+                ("invalidate", c.invalidations),
+                ("readahead_issued", c.readahead_issued),
+                ("readahead_hit", c.readahead_hits),
+            ] {
+                out.push(Sample::counter("flashr_cache_events_total", HELP, l(event), v));
+            }
+            out.push(Sample::gauge(
+                "flashr_cache_resident_bytes",
+                "Resident page-cache bytes by shard.",
+                vec![("shard", shard.clone())],
+                c.resident_bytes,
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsHub;
+
+    #[test]
+    fn exec_source_exports_every_counter() {
+        let stats = Arc::new(ExecStats::default());
+        stats.add(&stats.passes, 2);
+        stats.add(&stats.local_parts, 5);
+        stats.add(&stats.remote_parts, 1);
+        stats.add(&stats.io_wait_nanos, 77);
+        let hub = MetricsHub::new();
+        hub.register_source(Box::new(ExecStatsSource(stats)));
+        let text = hub.render_text();
+        assert!(text.contains("flashr_exec_passes_total 2\n"), "{text}");
+        assert!(text.contains("flashr_exec_parts_numa_total{numa=\"local\"} 5\n"), "{text}");
+        assert!(text.contains("flashr_exec_parts_numa_total{numa=\"remote\"} 1\n"), "{text}");
+        assert!(text.contains("flashr_exec_io_wait_nanos_total 77\n"), "{text}");
+        // One TYPE header even though the numa family has two series.
+        assert_eq!(text.matches("# TYPE flashr_exec_parts_numa_total").count(), 1, "{text}");
+    }
+}

@@ -2,11 +2,16 @@
 //! simulated NUMA topology and the optional SSD array.
 
 use crate::mat::TasMat;
+use crate::metrics::flight::{self, TeeSink};
+use crate::metrics::serve::claim_metrics_addr;
+use crate::metrics::sources::{ExecStatsSource, GovernorSource, SafsSource};
+use crate::metrics::{FlightRecorder, MetricsHub, MetricsServer};
 use crate::part::Partitioner;
 use crate::stats::ExecStats;
 use crate::trace::timeline::claim_trace_out;
 use crate::trace::{CriticalPath, ProfileReport, TraceLevel, Tracer};
 use flashr_safs::{CacheCfg, Safs, SafsConfig, SafsResult, SpanSink};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -262,13 +267,26 @@ pub struct FlashCtx {
 struct CtxInner {
     cfg: CtxConfig,
     safs: Option<Safs>,
-    stats: ExecStats,
+    stats: Arc<ExecStats>,
     tracer: Tracer,
     governor: MemGovernor,
+    metrics: Arc<MetricsHub>,
+    flight: Arc<FlightRecorder>,
+    /// The scrape listener, when this context claimed
+    /// `FLASHR_METRICS_ADDR`. Held for its Drop (shuts the thread down
+    /// with the last context clone).
+    metrics_server: Option<MetricsServer>,
 }
 
 impl Drop for CtxInner {
     fn drop(&mut self) {
+        // Shut the scrape listener down before releasing the address
+        // claim, so the next context to start can re-bind the same
+        // `FLASHR_METRICS_ADDR` without racing the dying socket.
+        if let Some(srv) = self.metrics_server.take() {
+            drop(srv);
+            crate::metrics::serve::release_metrics_addr();
+        }
         // `FLASHR_TRACE_OUT=<path>`: dump the Chrome trace when the last
         // clone of the context goes away. First context wins the path
         // (claimed once per process) so multi-context programs don't
@@ -306,11 +324,17 @@ impl FlashCtx {
             assert!(safs.is_some(), "EM storage requires a SAFS runtime");
         }
         let tracer = Tracer::new(cfg.trace);
-        if let (Some(tl), Some(s)) = (tracer.timeline(), &safs) {
-            // Timeline tracing: the SAFS I/O threads record request
-            // lifecycle and cache spans into the same timeline as the
-            // executors, on their own (thread-named) lanes.
-            s.set_span_sink(Some(tl.clone() as Arc<dyn SpanSink>));
+        let flight = Arc::new(FlightRecorder::with_env_budget());
+        flight::register_panic_dump(&flight);
+        if let Some(s) = &safs {
+            // The SAFS I/O threads record request lifecycle and cache
+            // spans on their own (thread-named) lanes: always into the
+            // flight recorder's bounded rings, and — when tracing at
+            // timeline level — into the full timeline as well.
+            s.set_span_sink(Some(Arc::new(TeeSink {
+                flight: flight.clone(),
+                timeline: tracer.timeline().cloned(),
+            }) as Arc<dyn SpanSink>));
         }
         let governor = match (&cfg.mem_budget, &safs) {
             (Some(b), Some(s)) if b.total_bytes > 0 => {
@@ -326,8 +350,38 @@ impl FlashCtx {
             (Some(b), None) => MemGovernor::new(b.total_bytes),
             _ => MemGovernor::new(0),
         };
+        let stats = Arc::new(ExecStats::default());
+        let metrics = Arc::new(MetricsHub::new());
+        metrics.register_source(Box::new(ExecStatsSource(stats.clone())));
+        metrics.register_source(Box::new(GovernorSource(governor.clone())));
+        if let Some(s) = &safs {
+            metrics.register_source(Box::new(SafsSource(s.clone())));
+        }
+        flight.set_metrics(metrics.clone());
+        let metrics_server = claim_metrics_addr().and_then(|addr| {
+            let hub = metrics.clone();
+            match MetricsServer::start(&addr, Arc::new(move || hub.render_text())) {
+                Ok(srv) => {
+                    eprintln!("flashr: metrics listening on http://{}/metrics", srv.addr());
+                    Some(srv)
+                }
+                Err(e) => {
+                    eprintln!("flashr: could not bind FLASHR_METRICS_ADDR={addr}: {e}");
+                    None
+                }
+            }
+        });
         FlashCtx {
-            inner: Arc::new(CtxInner { cfg, safs, stats: ExecStats::default(), tracer, governor }),
+            inner: Arc::new(CtxInner {
+                cfg,
+                safs,
+                stats,
+                tracer,
+                governor,
+                metrics,
+                flight,
+                metrics_server,
+            }),
         }
     }
 
@@ -354,6 +408,28 @@ impl FlashCtx {
     /// The trace collector (shared by all clones of this context).
     pub fn tracer(&self) -> &Tracer {
         &self.inner.tracer
+    }
+
+    /// The always-on metrics registry (shared by all clones).
+    pub fn metrics(&self) -> &Arc<MetricsHub> {
+        &self.inner.metrics
+    }
+
+    /// The current Prometheus text-format exposition — the same document
+    /// the `FLASHR_METRICS_ADDR` scrape listener serves.
+    pub fn metrics_text(&self) -> String {
+        self.inner.metrics.render_text()
+    }
+
+    /// The fault flight recorder (shared by all clones).
+    pub fn flight_recorder(&self) -> &Arc<FlightRecorder> {
+        &self.inner.flight
+    }
+
+    /// Where the scrape listener is bound, when this context claimed
+    /// `FLASHR_METRICS_ADDR` and the bind succeeded.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.inner.metrics_server.as_ref().map(|s| s.addr())
     }
 
     /// Everything this context observed — engine counters, SAFS I/O

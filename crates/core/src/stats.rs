@@ -33,6 +33,12 @@ pub struct ExecStats {
     pub fused_chains: AtomicU64,
     /// Bytes of intermediate chunks chain fusion skipped allocating.
     pub fused_saved_bytes: AtomicU64,
+    /// Worker nanoseconds spent blocked waiting for partition reads.
+    pub io_wait_nanos: AtomicU64,
+    /// Worker nanoseconds spent evaluating kernels.
+    pub compute_nanos: AtomicU64,
+    /// Worker nanoseconds spent stalled on result write-back.
+    pub write_stall_nanos: AtomicU64,
 }
 
 /// Point-in-time copy of [`ExecStats`].
@@ -48,6 +54,9 @@ pub struct ExecStatsSnapshot {
     pub node_chunk_bytes: u64,
     pub fused_chains: u64,
     pub fused_saved_bytes: u64,
+    pub io_wait_nanos: u64,
+    pub compute_nanos: u64,
+    pub write_stall_nanos: u64,
 }
 
 impl ExecStats {
@@ -64,6 +73,9 @@ impl ExecStats {
             node_chunk_bytes: self.node_chunk_bytes.load(Ordering::Relaxed),
             fused_chains: self.fused_chains.load(Ordering::Relaxed),
             fused_saved_bytes: self.fused_saved_bytes.load(Ordering::Relaxed),
+            io_wait_nanos: self.io_wait_nanos.load(Ordering::Relaxed),
+            compute_nanos: self.compute_nanos.load(Ordering::Relaxed),
+            write_stall_nanos: self.write_stall_nanos.load(Ordering::Relaxed),
         }
     }
 
@@ -91,6 +103,9 @@ impl ExecStatsSnapshot {
             node_chunk_bytes: later.node_chunk_bytes.saturating_sub(self.node_chunk_bytes),
             fused_chains: later.fused_chains.saturating_sub(self.fused_chains),
             fused_saved_bytes: later.fused_saved_bytes.saturating_sub(self.fused_saved_bytes),
+            io_wait_nanos: later.io_wait_nanos.saturating_sub(self.io_wait_nanos),
+            compute_nanos: later.compute_nanos.saturating_sub(self.compute_nanos),
+            write_stall_nanos: later.write_stall_nanos.saturating_sub(self.write_stall_nanos),
         }
     }
 }

@@ -385,6 +385,13 @@ fn exec_json(e: &ExecStatsSnapshot, out: &mut String) {
     field_u64("local_parts", e.local_parts, false, out);
     field_u64("remote_parts", e.remote_parts, false, out);
     field_u64("exec_nanos", e.exec_nanos, false, out);
+    field_u64("node_chunks", e.node_chunks, false, out);
+    field_u64("node_chunk_bytes", e.node_chunk_bytes, false, out);
+    field_u64("fused_chains", e.fused_chains, false, out);
+    field_u64("fused_saved_bytes", e.fused_saved_bytes, false, out);
+    field_u64("io_wait_nanos", e.io_wait_nanos, false, out);
+    field_u64("compute_nanos", e.compute_nanos, false, out);
+    field_u64("write_stall_nanos", e.write_stall_nanos, false, out);
     out.push('}');
 }
 
@@ -423,6 +430,7 @@ fn io_json(io: &IoStatsSnapshot, out: &mut String) {
     field_u64("write_reqs", io.write_reqs, false, out);
     field_u64("read_nanos", io.read_nanos, false, out);
     field_u64("write_nanos", io.write_nanos, false, out);
+    field_u64("throttle_wait_nanos", io.throttle_wait_nanos, false, out);
     field_u64("cur_queue_depth", io.cur_queue_depth, false, out);
     field_u64("max_queue_depth", io.max_queue_depth, false, out);
     out.push_str(",\"cache\":");

@@ -64,7 +64,7 @@ fn random_chain(rng: &mut u64, x: &FM, y: &FM, len: usize) -> FM {
             }
             1 => {
                 let (op, s) = SCALAR_OPS[(xorshift(rng) as usize) % SCALAR_OPS.len()];
-                cur.binary_scalar(op, s, xorshift(rng) % 2 == 0)
+                cur.binary_scalar(op, s, xorshift(rng).is_multiple_of(2))
             }
             2 => {
                 let stats: Vec<f64> = (0..cur.ncol()).map(|c| 0.25 + 0.5 * c as f64).collect();

@@ -49,6 +49,7 @@ pub mod prelude {
     pub use flashr_core::analysis::{AnalysisReport, Lint, PlanError, PlanErrorKind};
     pub use flashr_core::block::BlockMat;
     pub use flashr_core::fm::FM;
+    pub use flashr_core::metrics::{FlightRecorder, MetricsHub, MetricsServer};
     pub use flashr_core::ops::{AggOp, BinaryOp, UnaryOp};
     pub use flashr_core::session::{CtxConfig, ExecMode, FlashCtx, MemBudget, MemGovernor, StorageClass};
     pub use flashr_core::stats::ExecStatsSnapshot;

@@ -87,7 +87,8 @@ pub(crate) fn io_thread_main(
             IoOp::Read { mut buf } => match req.file.read_exact_at(buf.as_mut_bytes(), req.offset) {
                 Ok(()) => {
                     if let Some(t) = &throttle {
-                        t.charge(buf.len() as u64);
+                        let waited = t.charge(buf.len() as u64);
+                        stats.record_throttle_wait(waited.as_nanos() as u64);
                     }
                     nbytes = buf.len() as u64;
                     stats.record_read(nbytes, started.elapsed().as_nanos() as u64);
@@ -98,7 +99,8 @@ pub(crate) fn io_thread_main(
             IoOp::Write { buf } => match req.file.write_all_at(buf.as_bytes(), req.offset) {
                 Ok(()) => {
                     if let Some(t) = &throttle {
-                        t.charge(buf.len() as u64);
+                        let waited = t.charge(buf.len() as u64);
+                        stats.record_throttle_wait(waited.as_nanos() as u64);
                     }
                     nbytes = buf.len() as u64;
                     stats.record_write(nbytes, started.elapsed().as_nanos() as u64);

@@ -168,6 +168,23 @@ impl CacheStatsSnapshot {
     pub fn lookups(&self) -> u64 {
         self.hits + self.misses + self.coalesced
     }
+
+    /// Pointwise sum of two snapshots (shard aggregation; associative
+    /// and commutative, so shards can be folded in any order).
+    pub fn merge(&self, other: &CacheStatsSnapshot) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            coalesced: self.coalesced + other.coalesced,
+            bypasses: self.bypasses + other.bypasses,
+            inserts: self.inserts + other.inserts,
+            evictions: self.evictions + other.evictions,
+            invalidations: self.invalidations + other.invalidations,
+            readahead_issued: self.readahead_issued + other.readahead_issued,
+            readahead_hits: self.readahead_hits + other.readahead_hits,
+            resident_bytes: self.resident_bytes + other.resident_bytes,
+        }
+    }
 }
 
 /// One cache entry.
@@ -194,6 +211,12 @@ struct ShardInner {
 struct Shard {
     inner: Mutex<ShardInner>,
     cond: Condvar,
+    /// Per-shard counters; shard-scoped so concurrent workers on
+    /// different partitions never share a counter cache line, and so the
+    /// metrics registry can expose per-shard series (`shard="0"`).
+    /// Admission-filter bypasses are not shard-scoped and are accounted
+    /// on shard 0.
+    stats: CacheStats,
 }
 
 /// Per-file sequential-access detector state.
@@ -232,7 +255,6 @@ pub struct PageCache {
     cfg: CacheCfg,
     shard_budget: u64,
     shards: Vec<Shard>,
-    stats: CacheStats,
     seq: Mutex<HashMap<u64, SeqState>>,
 }
 
@@ -243,7 +265,6 @@ impl PageCache {
         PageCache {
             shard_budget: cfg.capacity_bytes / nshards as u64,
             shards: (0..nshards).map(|_| Shard::default()).collect(),
-            stats: CacheStats::default(),
             seq: Mutex::new(HashMap::new()),
             cfg: CacheCfg { shards: nshards, ..cfg },
         }
@@ -254,11 +275,24 @@ impl PageCache {
         self.cfg.capacity_bytes
     }
 
-    /// Point-in-time counters plus the resident-bytes gauge.
+    /// Aggregate counters across all shards plus the resident-bytes
+    /// gauge.
     pub fn stats_snapshot(&self) -> CacheStatsSnapshot {
-        let mut snap = self.stats.snapshot();
-        snap.resident_bytes = self.shards.iter().map(|s| s.inner.lock().bytes).sum();
-        snap
+        self.shard_snapshots().iter().fold(CacheStatsSnapshot::default(), |a, s| a.merge(s))
+    }
+
+    /// Per-shard counters, in shard order, each with that shard's
+    /// resident bytes (the metrics registry exposes these as
+    /// `shard="<i>"` series).
+    pub fn shard_snapshots(&self) -> Vec<CacheStatsSnapshot> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let mut snap = s.stats.snapshot();
+                snap.resident_bytes = s.inner.lock().bytes;
+                snap
+            })
+            .collect()
     }
 
     fn shard(&self, key: CacheKey) -> &Shard {
@@ -271,9 +305,10 @@ impl PageCache {
         file_bytes <= self.cfg.capacity_bytes
     }
 
-    /// Count one admission-filter bypass.
+    /// Count one admission-filter bypass (not shard-scoped; accounted on
+    /// shard 0).
     pub(crate) fn note_bypass(&self) {
-        self.stats.bypasses.fetch_add(1, Ordering::Relaxed);
+        self.shards[0].stats.bypasses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Resolve `key`: hit, owned miss, adopted readahead, or shared wait.
@@ -283,22 +318,22 @@ impl PageCache {
         match g.map.get_mut(&key) {
             Some(Slot::Resident { buf, referenced }) => {
                 *referenced = true;
-                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                shard.stats.hits.fetch_add(1, Ordering::Relaxed);
                 Lookup::Hit(buf.clone())
             }
             Some(Slot::InFlight { ticket }) => match ticket.take() {
                 Some(t) => {
-                    self.stats.readahead_hits.fetch_add(1, Ordering::Relaxed);
+                    shard.stats.readahead_hits.fetch_add(1, Ordering::Relaxed);
                     Lookup::Adopted(t)
                 }
                 None => {
-                    self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                    shard.stats.coalesced.fetch_add(1, Ordering::Relaxed);
                     Lookup::Shared
                 }
             },
             None => {
                 g.map.insert(key, Slot::InFlight { ticket: None });
-                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                shard.stats.misses.fetch_add(1, Ordering::Relaxed);
                 Lookup::MustRead
             }
         }
@@ -342,8 +377,8 @@ impl PageCache {
                     g.ring.push(key);
                 }
             }
-            self.stats.inserts.fetch_add(1, Ordering::Relaxed);
-            self.evict_locked(&mut g, key);
+            shard.stats.inserts.fetch_add(1, Ordering::Relaxed);
+            self.evict_locked(&mut g, key, &shard.stats);
         }
         shard.cond.notify_all();
         arc
@@ -352,7 +387,7 @@ impl PageCache {
     /// CLOCK sweep to the shard budget. Never evicts `protect` (the key
     /// just inserted) and gives up after two full revolutions, so an
     /// over-budget single partition overshoots instead of spinning.
-    fn evict_locked(&self, g: &mut ShardInner, protect: CacheKey) {
+    fn evict_locked(&self, g: &mut ShardInner, protect: CacheKey, stats: &CacheStats) {
         let mut sweeps = 0usize;
         while g.bytes > self.shard_budget && !g.ring.is_empty() {
             if sweeps > 2 * g.ring.len() + 1 {
@@ -391,7 +426,7 @@ impl PageCache {
                     g.map.remove(&k);
                     g.bytes -= len;
                     g.ring.swap_remove(g.hand);
-                    self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                    stats.evictions.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -456,7 +491,7 @@ impl PageCache {
             if let Some(Slot::InFlight { ticket: slot }) = g.map.get_mut(&key) {
                 if slot.is_none() {
                     *slot = Some(ticket);
-                    self.stats.readahead_issued.fetch_add(1, Ordering::Relaxed);
+                    shard.stats.readahead_issued.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
@@ -476,7 +511,7 @@ impl PageCache {
         if let Some(len) = len {
             g.map.remove(&key);
             g.bytes -= len;
-            self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+            shard.stats.invalidations.fetch_add(1, Ordering::Relaxed);
             // The stale ring slot is discarded by the next clock sweep.
         }
     }
@@ -504,7 +539,7 @@ impl PageCache {
                     if let Some(Slot::Resident { buf, .. }) = g.map.remove(&k) {
                         g.bytes -= buf.len() as u64;
                     }
-                    self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+                    shard.stats.invalidations.fetch_add(1, Ordering::Relaxed);
                 }
             }
             shard.cond.notify_all();

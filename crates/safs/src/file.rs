@@ -334,7 +334,7 @@ impl SafsFile {
                     if let Some(s) = self.inner.rt.span_sink() {
                         s.instant("cache", "readahead", now_nanos(), [("part", p), ("", 0)]);
                     }
-                    cache.park_readahead(key, ticket)
+                    cache.park_readahead(key, ticket);
                 }
                 Err(_) => cache.abort(key),
             }

@@ -41,6 +41,7 @@ mod error;
 mod file;
 mod iobuf;
 mod layout;
+pub mod metrics;
 mod runtime;
 mod span;
 mod stats;
@@ -53,6 +54,7 @@ pub use error::{SafsError, SafsResult};
 pub use file::SafsFile;
 pub use iobuf::{IoBuf, Pod};
 pub use layout::Striping;
+pub use metrics::{Counter, Gauge, Log2Histogram, Log2HistogramSnapshot};
 pub use runtime::Safs;
 pub use span::{now_nanos, SpanArgs, SpanSink, NO_ARGS};
 pub use stats::{IoStats, IoStatsSnapshot, LatencyHisto, LatencyHistoSnapshot, LAT_BUCKETS};

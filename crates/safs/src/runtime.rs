@@ -163,6 +163,17 @@ impl Safs {
             .unwrap_or_default()
     }
 
+    /// Per-shard page-cache counters in shard order (empty when no cache
+    /// is installed). Feeds the metrics registry's `shard="<i>"` series.
+    pub fn cache_shard_snapshots(&self) -> Vec<CacheStatsSnapshot> {
+        self.inner
+            .page_cache
+            .lock()
+            .as_ref()
+            .map(|c| c.shard_snapshots())
+            .unwrap_or_default()
+    }
+
     /// Create a file of `nparts` equally sized partitions.
     pub fn create(&self, name: &str, part_bytes: u64, nparts: u64) -> SafsResult<SafsFile> {
         self.create_bytes(name, part_bytes, part_bytes.checked_mul(nparts).expect("file size overflow"))

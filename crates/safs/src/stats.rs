@@ -7,6 +7,7 @@
 //! deep the per-disk queues run.
 
 use crate::cache::CacheStatsSnapshot;
+use crate::metrics::{Log2Histogram, Log2HistogramSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of log2 latency buckets. Bucket `i` counts requests whose
@@ -15,99 +16,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// ~`2^39` ns (≈ 9 minutes).
 pub const LAT_BUCKETS: usize = 40;
 
-/// Lock-free log2-bucketed latency histogram.
-///
-/// Recording is a single relaxed `fetch_add` on the bucket selected by a
-/// leading-zeros computation — cheap enough to stay always-on in the I/O
-/// threads.
-#[derive(Debug)]
-pub struct LatencyHisto {
-    buckets: [AtomicU64; LAT_BUCKETS],
-}
-
-impl Default for LatencyHisto {
-    fn default() -> Self {
-        LatencyHisto { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
-    }
-}
-
-impl LatencyHisto {
-    /// Bucket index for a latency in nanoseconds.
-    pub fn bucket_of(nanos: u64) -> usize {
-        if nanos == 0 {
-            return 0;
-        }
-        ((63 - nanos.leading_zeros()) as usize).min(LAT_BUCKETS - 1)
-    }
-
-    /// Inclusive-exclusive nanosecond bounds of bucket `i`.
-    pub fn bucket_bounds(i: usize) -> (u64, u64) {
-        let lo = if i == 0 { 0 } else { 1u64 << i };
-        let hi = if i >= LAT_BUCKETS - 1 { u64::MAX } else { 1u64 << (i + 1) };
-        (lo, hi)
-    }
-
-    /// Record one request's latency.
-    pub fn record(&self, nanos: u64) {
-        self.buckets[Self::bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Copy out the bucket counts.
-    pub fn snapshot(&self) -> LatencyHistoSnapshot {
-        let mut buckets = [0u64; LAT_BUCKETS];
-        for (b, a) in buckets.iter_mut().zip(&self.buckets) {
-            *b = a.load(Ordering::Relaxed);
-        }
-        LatencyHistoSnapshot { buckets }
-    }
-}
+/// Lock-free log2-bucketed latency histogram: the I/O-latency
+/// instantiation of the generic [`Log2Histogram`] — cheap enough to
+/// stay always-on in the I/O threads.
+pub type LatencyHisto = Log2Histogram<LAT_BUCKETS>;
 
 /// Point-in-time copy of a [`LatencyHisto`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct LatencyHistoSnapshot {
-    pub buckets: [u64; LAT_BUCKETS],
-}
-
-impl Default for LatencyHistoSnapshot {
-    fn default() -> Self {
-        LatencyHistoSnapshot { buckets: [0; LAT_BUCKETS] }
-    }
-}
-
-impl LatencyHistoSnapshot {
-    /// Total requests recorded.
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().sum()
-    }
-
-    /// Upper bound (ns) of the bucket containing quantile `q` in `[0, 1]`.
-    /// Returns 0 for an empty histogram.
-    pub fn quantile_upper_ns(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return LatencyHisto::bucket_bounds(i).1;
-            }
-        }
-        LatencyHisto::bucket_bounds(LAT_BUCKETS - 1).1
-    }
-
-    /// Bucket movement between two snapshots (`later - self`, saturating;
-    /// see [`IoStatsSnapshot::delta`] for the ordering contract).
-    pub fn delta(&self, later: &LatencyHistoSnapshot) -> LatencyHistoSnapshot {
-        let mut buckets = [0u64; LAT_BUCKETS];
-        for (i, b) in buckets.iter_mut().enumerate() {
-            *b = later.buckets[i].saturating_sub(self.buckets[i]);
-        }
-        LatencyHistoSnapshot { buckets }
-    }
-}
+pub type LatencyHistoSnapshot = Log2HistogramSnapshot<LAT_BUCKETS>;
 
 /// Monotonic counters, updated by the I/O threads, plus queue-depth
 /// gauges updated at submit/complete time.
@@ -121,6 +36,8 @@ pub struct IoStats {
     write_nanos: AtomicU64,
     read_lat: LatencyHisto,
     write_lat: LatencyHisto,
+    /// Nanoseconds I/O threads spent blocked in the bandwidth throttle.
+    throttle_wait_nanos: AtomicU64,
     /// Requests submitted but not yet completed (gauge).
     queue_depth: AtomicU64,
     /// High-water mark of `queue_depth` since the runtime started.
@@ -138,6 +55,9 @@ pub struct IoStatsSnapshot {
     pub write_nanos: u64,
     pub read_lat: LatencyHistoSnapshot,
     pub write_lat: LatencyHistoSnapshot,
+    /// Nanoseconds I/O threads spent blocked in the bandwidth throttle
+    /// (0 when no throttle is configured).
+    pub throttle_wait_nanos: u64,
     /// In-flight requests at snapshot time (gauge, not delta-able).
     pub cur_queue_depth: u64,
     /// Deepest the queues have run since the runtime started (gauge).
@@ -161,6 +81,11 @@ impl IoStats {
         self.write_reqs.fetch_add(1, Ordering::Relaxed);
         self.write_nanos.fetch_add(nanos, Ordering::Relaxed);
         self.write_lat.record(nanos);
+    }
+
+    /// The I/O thread slept in the throttle for this long.
+    pub(crate) fn record_throttle_wait(&self, nanos: u64) {
+        self.throttle_wait_nanos.fetch_add(nanos, Ordering::Relaxed);
     }
 
     /// A request entered an I/O queue.
@@ -190,6 +115,7 @@ impl IoStats {
             write_nanos: self.write_nanos.load(Ordering::Relaxed),
             read_lat: self.read_lat.snapshot(),
             write_lat: self.write_lat.snapshot(),
+            throttle_wait_nanos: self.throttle_wait_nanos.load(Ordering::Relaxed),
             cur_queue_depth: self.queue_depth.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             cache: CacheStatsSnapshot::default(),
@@ -215,6 +141,7 @@ impl IoStatsSnapshot {
             write_nanos: later.write_nanos.saturating_sub(self.write_nanos),
             read_lat: self.read_lat.delta(&later.read_lat),
             write_lat: self.write_lat.delta(&later.write_lat),
+            throttle_wait_nanos: later.throttle_wait_nanos.saturating_sub(self.throttle_wait_nanos),
             cur_queue_depth: later.cur_queue_depth,
             max_queue_depth: later.max_queue_depth,
             cache: self.cache.delta(&later.cache),

@@ -24,8 +24,10 @@ impl Throttle {
     }
 
     /// Account for a request of `bytes` and block until the emulated
-    /// device would have completed it.
-    pub(crate) fn charge(&self, bytes: u64) {
+    /// device would have completed it. Returns how long the calling
+    /// thread actually slept, so callers can account throttle waits
+    /// separately from device service time.
+    pub(crate) fn charge(&self, bytes: u64) -> Duration {
         let service = Duration::from_secs_f64(
             self.cfg.latency_us * 1e-6 + bytes as f64 / self.cfg.bytes_per_sec,
         );
@@ -37,7 +39,11 @@ impl Throttle {
         };
         let now = Instant::now();
         if deadline > now {
-            std::thread::sleep(deadline - now);
+            let wait = deadline - now;
+            std::thread::sleep(wait);
+            wait
+        } else {
+            Duration::ZERO
         }
     }
 }

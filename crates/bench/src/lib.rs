@@ -136,6 +136,18 @@ pub fn em_ctx_local(tag: &str) -> FlashCtx {
     FlashCtx::on_ssds(cfg).expect("SAFS open failed").with_trace(bench_trace_level())
 }
 
+/// Like [`em_ctx_local`], with a page cache in front of the SSD array
+/// (capacity in bytes). Figure bins whose eager baseline re-scans EM
+/// leaves across passes use this so the re-reads hit RAM — and the bin
+/// stays clean under CI's `FLASHR_DENY_LINTS=W001,W004` gate (W004
+/// fires when a re-scanned leaf exceeds the page-cache budget).
+pub fn em_ctx_local_cached(tag: &str, cache_bytes: u64) -> FlashCtx {
+    let cfg = SafsConfig::striped_under(scratch_dir(tag), 4)
+        .with_throttle(ThrottleCfg::sata_ssd())
+        .with_cache(CacheCfg::with_capacity(cache_bytes));
+    FlashCtx::on_ssds(cfg).expect("SAFS open failed").with_trace(bench_trace_level())
+}
+
 /// External-memory context with the EC2 i3.16xlarge NVMe profile.
 pub fn em_ctx_ec2(tag: &str) -> FlashCtx {
     let cfg = SafsConfig::striped_under(scratch_dir(tag), 4).with_throttle(ThrottleCfg::nvme_ssd());

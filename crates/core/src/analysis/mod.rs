@@ -29,9 +29,11 @@
 //! [`crate::fm::FM::check`] exposes it without executing anything.
 
 pub mod chains;
+pub mod cost;
 pub mod cse;
 pub mod infer;
 pub mod lint;
+pub mod optimize;
 
 use crate::dag::Node;
 use crate::exec::Target;
@@ -58,6 +60,9 @@ pub enum PlanErrorKind {
     /// An operation was applied to a sink that must be materialized
     /// first (the `FM::Sink` misuse family).
     NotMaterialized,
+    /// A lint named in `FLASHR_DENY_LINTS` fired and the optimizer did
+    /// not act on it — the warning is promoted to a hard error.
+    LintDenied,
 }
 
 impl std::fmt::Display for PlanErrorKind {
@@ -68,6 +73,7 @@ impl std::fmt::Display for PlanErrorKind {
             PlanErrorKind::PartitionMismatch => "partition-mismatch",
             PlanErrorKind::BadOperand => "bad-operand",
             PlanErrorKind::NotMaterialized => "not-materialized",
+            PlanErrorKind::LintDenied => "lint-denied",
         };
         f.write_str(s)
     }
@@ -99,6 +105,57 @@ impl std::fmt::Display for PlanError {
 }
 
 impl std::error::Error for PlanError {}
+
+impl PlanError {
+    /// Hand-rolled JSON object form (for `FM::check_json`).
+    pub fn to_json(&self) -> String {
+        let mut o = String::with_capacity(128);
+        o.push_str("{\"node\":");
+        o.push_str(&self.node.to_string());
+        o.push_str(",\"op\":");
+        json_escape(&self.op, &mut o);
+        o.push_str(",\"kind\":");
+        json_escape(&self.kind.to_string(), &mut o);
+        o.push_str(",\"detail\":");
+        json_escape(&self.detail, &mut o);
+        o.push('}');
+        o
+    }
+}
+
+/// Lint codes named in the `FLASHR_DENY_LINTS` environment variable
+/// (comma/space separated, e.g. `W001,W004`; `all` denies every code).
+/// Parsed per call so tests and long-lived sessions see updates.
+pub fn denied_lint_codes() -> Vec<String> {
+    std::env::var("FLASHR_DENY_LINTS")
+        .unwrap_or_default()
+        .split([',', ' '])
+        .map(|s| s.trim().to_ascii_uppercase())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// Promote denied lints to hard [`PlanError`]s. `exempt` holds node ids
+/// the optimizer already acted on (an auto-cached W001 node is fixed,
+/// not denied). Returns the first offending lint as an error.
+pub fn deny_gate(lints: &[Lint], exempt: &HashSet<u64>) -> Result<(), PlanError> {
+    let denied = denied_lint_codes();
+    if denied.is_empty() {
+        return Ok(());
+    }
+    let deny_all = denied.iter().any(|c| c == "ALL");
+    for l in lints {
+        if (deny_all || denied.iter().any(|c| c == l.code)) && !exempt.contains(&l.node) {
+            return Err(PlanError {
+                node: l.node,
+                op: l.code.to_string(),
+                kind: PlanErrorKind::LintDenied,
+                detail: format!("FLASHR_DENY_LINTS promotes {}: {}", l.code, l.message),
+            });
+        }
+    }
+    Ok(())
+}
 
 /// One diagnostic from the lint pass. Codes are stable and documented in
 /// DESIGN.md's lint catalogue (`W001` reused-uncached, `W002`

@@ -9,7 +9,7 @@
 //! exactly the I/O amplification the ablation measures.
 
 use crate::dag::Node;
-use crate::exec::{fused, Target, TargetResult, TargetStorage};
+use crate::exec::{fused, PlanOpts, Target, TargetResult, TargetStorage};
 use crate::mat::TasMat;
 use crate::session::FlashCtx;
 use std::collections::{HashMap, HashSet};
@@ -55,9 +55,12 @@ fn topo_order(targets: &[Target]) -> Vec<Arc<Node>> {
     order
 }
 
-/// Run targets under the eager engine.
-pub fn run(ctx: &FlashCtx, targets: &[Target]) -> Vec<TargetResult> {
+/// Run targets under the eager engine. `opts.auto_cache` ids are
+/// cached after their per-op pass exactly like user `set.cache`
+/// requests; the other plan options don't apply to single-op passes.
+pub fn run(ctx: &FlashCtx, targets: &[Target], opts: &PlanOpts) -> Vec<TargetResult> {
     let mut resolved: HashMap<u64, TasMat> = HashMap::new();
+    let sub_opts = PlanOpts::default();
 
     for node in topo_order(targets) {
         if node.is_effective_leaf() || node.is_sink() || resolved.contains_key(&node.id) {
@@ -89,12 +92,13 @@ pub fn run(ctx: &FlashCtx, targets: &[Target]) -> Vec<TargetResult> {
             &resolved,
             "eager-step",
             None,
+            &sub_opts,
         );
         let mat = match result.into_iter().next().expect("one target, one result") {
             TargetResult::Mat(m) => m,
             TargetResult::Dense(_) => unreachable!("tall target yields a matrix"),
         };
-        if node.cache_requested() {
+        if node.cache_requested() || opts.auto_cache.contains(&node.id) {
             let (cached, pin) = ctx.admit_cache(mat.clone());
             node.install_cache_pinned(cached, pin);
         }
@@ -105,21 +109,33 @@ pub fn run(ctx: &FlashCtx, targets: &[Target]) -> Vec<TargetResult> {
     targets
         .iter()
         .map(|t| match t {
-            Target::Sink(node) => {
-                fused::run_labeled(ctx, &[Target::Sink(node.clone())], &resolved, "eager-target", None)
-                    .into_iter()
-                    .next()
-                    .expect("one target, one result")
-            }
+            Target::Sink(node) => fused::run_labeled(
+                ctx,
+                &[Target::Sink(node.clone())],
+                &resolved,
+                "eager-target",
+                None,
+                &sub_opts,
+            )
+            .into_iter()
+            .next()
+            .expect("one target, one result"),
             Target::Tall { node, .. } => {
                 if let Some(m) = resolved.get(&node.id) {
                     TargetResult::Mat(m.clone())
                 } else {
                     // The target itself is a leaf/generator: one pass.
-                    fused::run_labeled(ctx, std::slice::from_ref(t), &resolved, "eager-target", None)
-                        .into_iter()
-                        .next()
-                        .expect("one target, one result")
+                    fused::run_labeled(
+                        ctx,
+                        std::slice::from_ref(t),
+                        &resolved,
+                        "eager-target",
+                        None,
+                        &sub_opts,
+                    )
+                    .into_iter()
+                    .next()
+                    .expect("one target, one result")
                 }
             }
         })

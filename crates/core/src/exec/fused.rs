@@ -11,7 +11,7 @@
 use crate::chunk::{BufPool, Chunk};
 use crate::dag::{MapInput, MapOp, Node, NodeKind};
 use crate::exec::cumcoord::CumCoord;
-use crate::exec::plan::Plan;
+use crate::exec::plan::{Plan, PlanOpts};
 use crate::exec::{SinkAcc, Target, TargetResult};
 use crate::mat::{Layout, PartFetch, TasMat};
 use crate::metrics::FlightRecorder;
@@ -71,7 +71,10 @@ struct Shared<'a> {
     use_affinity: bool,
     nnodes: usize,
     batch: u64,
-    merged: Mutex<Vec<Option<SinkAcc>>>,
+    /// Per-partition sink partials, folded in partition order at
+    /// finalize so reductions are bit-deterministic regardless of which
+    /// worker claimed which partition (thread-finish order is not).
+    merged: Mutex<Vec<Option<Vec<SinkAcc>>>>,
     trace: Option<&'a PassAgg>,
     /// Span timeline; `Some` only at [`TraceLevel::Timeline`].
     timeline: Option<&'a Timeline>,
@@ -88,8 +91,9 @@ pub fn run(
     targets: &[Target],
     resolved: &HashMap<u64, TasMat>,
     nodes_pre_cse: Option<usize>,
+    opts: &PlanOpts,
 ) -> Vec<TargetResult> {
-    run_labeled(ctx, targets, resolved, "fused", nodes_pre_cse)
+    run_labeled(ctx, targets, resolved, "fused", nodes_pre_cse, opts)
 }
 
 /// Like [`run`], with an engine label for the pass profile (the eager
@@ -101,9 +105,10 @@ pub(crate) fn run_labeled(
     resolved: &HashMap<u64, TasMat>,
     engine: &'static str,
     nodes_pre_cse: Option<usize>,
+    opts: &PlanOpts,
 ) -> Vec<TargetResult> {
     let started = Instant::now();
-    let plan = Plan::build(ctx, targets, resolved);
+    let plan = Plan::build_with(ctx, targets, resolved, opts);
     let stats = ctx.stats();
     let pass_id = stats.passes.fetch_add(1, Ordering::Relaxed) + 1;
     let tracer = ctx.tracer();
@@ -170,7 +175,7 @@ pub(crate) fn run_labeled(
         use_affinity,
         nnodes,
         batch,
-        merged: Mutex::new((0..plan.sinks.len()).map(|_| None).collect()),
+        merged: Mutex::new((0..plan.nparts as usize).map(|_| None).collect()),
         trace: agg.as_ref(),
         timeline: tracer.timeline().map(|t| t.as_ref()),
         flight: ctx.flight_recorder(),
@@ -207,12 +212,24 @@ pub(crate) fn run_labeled(
         [("pass", pass_id), ("nparts", nparts)],
     );
 
-    // Finalize.
+    // Finalize. Sink partials are folded in partition order — never in
+    // worker-finish order — so floating-point reductions are
+    // bit-identical run to run even under dynamic partition claiming.
     let mut results: Vec<Option<TargetResult>> = (0..targets.len()).map(|_| None).collect();
-    {
+    if !plan.sinks.is_empty() {
         let mut merged = shared.merged.lock();
+        let mut finals: Vec<Option<SinkAcc>> = (0..plan.sinks.len()).map(|_| None).collect();
+        for part_accs in merged.iter_mut() {
+            let accs = part_accs.take().expect("partition sinks never accumulated");
+            for (i, acc) in accs.into_iter().enumerate() {
+                match &mut finals[i] {
+                    slot @ None => *slot = Some(acc),
+                    Some(existing) => existing.merge(acc),
+                }
+            }
+        }
         for (i, (slot, _)) in plan.sinks.iter().enumerate() {
-            let acc = merged[i].take().expect("sink never accumulated");
+            let acc = finals[i].take().expect("sink never accumulated");
             results[*slot] = Some(TargetResult::Dense(acc.finalize()));
         }
     }
@@ -291,6 +308,7 @@ pub(crate) fn run_labeled(
                 .unwrap_or_default(),
             workers,
             ops,
+            optimizer: Vec::new(),
         });
     }
 
@@ -323,8 +341,6 @@ fn claim(shared: &Shared<'_>, my_node: usize) -> (Vec<u64>, bool) {
 fn worker(tid: usize, shared: &Shared<'_>) {
     let my_node = tid % shared.nnodes;
     let mut pool = BufPool::new();
-    let mut sink_accs: Vec<SinkAcc> =
-        shared.plan.sinks.iter().map(|(_, n)| SinkAcc::new_for(n)).collect();
     let mut pending_writes: Vec<IoTicket> = Vec::new();
     let max_pending = shared.ctx.cfg().max_pending_writes.max(1);
     let stats = shared.ctx.stats();
@@ -420,6 +436,11 @@ fn worker(tid: usize, shared: &Shared<'_>) {
             if let Some(l) = lane {
                 l.begin("exec", "compute", NO_ARGS);
             }
+            // Fresh accumulators per partition: partials deposit into the
+            // partition's slot and fold in partition order at finalize,
+            // keeping reductions independent of worker scheduling.
+            let mut sink_accs: Vec<SinkAcc> =
+                shared.plan.sinks.iter().map(|(_, n)| SinkAcc::new_for(n)).collect();
             let chunks = process_part(
                 shared,
                 part,
@@ -429,6 +450,9 @@ fn worker(tid: usize, shared: &Shared<'_>) {
                 &mut pending_writes,
                 lane,
             );
+            if !sink_accs.is_empty() {
+                shared.merged.lock()[part as usize] = Some(sink_accs);
+            }
             if let Some(l) = lane {
                 l.end("exec", "compute");
             }
@@ -471,16 +495,6 @@ fn worker(tid: usize, shared: &Shared<'_>) {
             wp.write_stall_nanos += nanos;
         }
     }
-
-    // Deposit thread-local sink partials.
-    let mut merged = shared.merged.lock();
-    for (i, acc) in sink_accs.into_iter().enumerate() {
-        match &mut merged[i] {
-            slot @ None => *slot = Some(acc),
-            Some(existing) => existing.merge(acc),
-        }
-    }
-    drop(merged);
 
     if let (Some(agg), Some(wp)) = (shared.trace, wp) {
         agg.workers.lock().push(wp);

@@ -16,7 +16,7 @@ mod fused;
 mod plan;
 
 pub use accum::SinkAcc;
-pub use plan::{Plan, TallOut};
+pub use plan::{Plan, PlanOpts, TallOut};
 
 use crate::dag::Node;
 use crate::mat::TasMat;
@@ -92,12 +92,87 @@ pub fn materialize(ctx: &FlashCtx, targets: &[Target]) -> Vec<TargetResult> {
     } else {
         (targets, None)
     };
+
+    // Cost-based plan optimizer: price the plan, act on the lints, and
+    // record every decision so the pass profile can show predicted vs.
+    // actual byte movement.
+    let mut opts = PlanOpts::default();
+    let mut decisions: Vec<crate::analysis::optimize::Decision> = Vec::new();
+    let mut readahead: Option<u64> = None;
+    let mut order: Option<Vec<usize>> = None;
+    if ctx.cfg().cost_optimize {
+        let cost = crate::analysis::cost::estimate(ctx, run_targets);
+        let outcome = crate::analysis::optimize::plan(ctx, run_targets, &cost);
+        // A lint the optimizer already fixed (auto-cached W001/W004 node)
+        // is exempt from FLASHR_DENY_LINTS promotion.
+        if let Err(e) = crate::analysis::deny_gate(&analysis.report.lints, &outcome.auto_cache) {
+            panic!("{e}");
+        }
+        ctx.flight_recorder().named_lane("coordinator").instant(
+            "optimize",
+            format!("cost-optimize:{} decisions", outcome.decisions.len()),
+            [("decisions", outcome.decisions.len() as u64), ("", 0)],
+        );
+        opts.auto_cache = outcome.auto_cache;
+        opts.fuse_barriers = outcome.fuse_barriers;
+        opts.pcache_step = outcome.pcache_step;
+        readahead = outcome.readahead_parts;
+        order = outcome.order;
+        decisions = outcome.decisions;
+    } else if let Err(e) =
+        crate::analysis::deny_gate(&analysis.report.lints, &std::collections::HashSet::new())
+    {
+        panic!("{e}");
+    }
+
+    let stats_before = ctx.stats().snapshot();
+    let io_before = ctx.safs().map(|s| s.stats_snapshot());
+    if readahead.is_some() {
+        if let Some(s) = ctx.safs() {
+            s.set_readahead_override(readahead);
+        }
+    }
     let results = match ctx.cfg().mode {
-        ExecMode::Eager => eager::run(ctx, run_targets),
+        ExecMode::Eager => match &order {
+            Some(ord) => {
+                // Run materialization passes in leaf-sharing order, then
+                // restore the caller's target order.
+                let permuted: Vec<Target> =
+                    ord.iter().map(|&i| run_targets[i].clone()).collect();
+                let res = eager::run(ctx, &permuted, &opts);
+                let mut out: Vec<Option<TargetResult>> = res.iter().map(|_| None).collect();
+                for (&i, r) in ord.iter().zip(res) {
+                    out[i] = Some(r);
+                }
+                out.into_iter()
+                    .map(|r| r.expect("permutation covers all targets"))
+                    .collect()
+            }
+            None => eager::run(ctx, run_targets, &opts),
+        },
         ExecMode::MemFuse | ExecMode::CacheFuse => {
-            fused::run(ctx, run_targets, &HashMap::new(), nodes_pre)
+            fused::run(ctx, run_targets, &HashMap::new(), nodes_pre, &opts)
         }
     };
+    if readahead.is_some() {
+        if let Some(s) = ctx.safs() {
+            s.set_readahead_override(None);
+        }
+    }
+
+    if !decisions.is_empty() {
+        fill_decision_actuals(ctx, run_targets, &mut decisions, &stats_before, io_before.as_ref());
+        let stats = ctx.stats();
+        stats.add(&stats.opt_decisions, decisions.len() as u64);
+        let cached: u64 = decisions
+            .iter()
+            .filter(|d| matches!(d.kind, crate::analysis::optimize::DecisionKind::AutoCache))
+            .map(|d| d.actual_bytes.unwrap_or(0))
+            .sum();
+        stats.add(&stats.opt_cache_bytes, cached);
+        ctx.tracer().attach_optimizer(decisions);
+    }
+
     if optimize {
         // `set.cache` requests on merged originals were honoured on their
         // canonical representatives; copy the installed caches back so the
@@ -109,4 +184,60 @@ pub fn materialize(ctx: &FlashCtx, targets: &[Target]) -> Vec<TargetResult> {
         }
     }
     results
+}
+
+/// Post-run bookkeeping for optimizer decisions: scrape what actually
+/// happened (bytes cached, chunk bytes produced, device bytes read) from
+/// the engine and I/O counters and stamp it into each decision record.
+fn fill_decision_actuals(
+    ctx: &FlashCtx,
+    targets: &[Target],
+    decisions: &mut [crate::analysis::optimize::Decision],
+    stats_before: &crate::stats::ExecStatsSnapshot,
+    io_before: Option<&flashr_safs::IoStatsSnapshot>,
+) {
+    use crate::analysis::optimize::DecisionKind;
+
+    let exec_delta = stats_before.delta(&ctx.stats().snapshot());
+    let io_read_delta = match (io_before, ctx.safs().map(|s| s.stats_snapshot())) {
+        (Some(before), Some(after)) => before.delta(&after).read_bytes,
+        _ => 0,
+    };
+    let nodes = reachable_by_id(targets);
+    for d in decisions.iter_mut() {
+        d.actual_bytes = Some(match d.kind {
+            DecisionKind::AutoCache => match nodes.get(&d.node) {
+                Some(n) if n.cached().is_some() => crate::analysis::cost::mat_bytes(n),
+                _ => 0,
+            },
+            DecisionKind::FusionBarrier => nodes
+                .get(&d.node)
+                .map(|n| crate::analysis::cost::mat_bytes(n))
+                .unwrap_or(0),
+            DecisionKind::PcacheStep => exec_delta.node_chunk_bytes,
+            DecisionKind::Readahead | DecisionKind::PassOrder => io_read_delta,
+        });
+    }
+}
+
+/// Every node reachable from the targets, by id. Traverses through
+/// effective leaves (a just-cached node is one) so post-run lookups still
+/// find interior nodes the optimizer acted on.
+fn reachable_by_id(targets: &[Target]) -> HashMap<u64, Arc<Node>> {
+    let mut out: HashMap<u64, Arc<Node>> = HashMap::new();
+    let mut stack: Vec<Arc<Node>> = targets
+        .iter()
+        .map(|t| match t {
+            Target::Sink(n) | Target::Tall { node: n, .. } => n.clone(),
+        })
+        .collect();
+    while let Some(node) = stack.pop() {
+        if out.insert(node.id, node.clone()).is_some() {
+            continue;
+        }
+        for c in node.children() {
+            stack.push(c.clone());
+        }
+    }
+    out
 }

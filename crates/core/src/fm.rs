@@ -823,8 +823,55 @@ impl FM {
     pub fn check(&self, ctx: &FlashCtx) -> Result<AnalysisReport, PlanError> {
         match self.pending_target() {
             None => Ok(AnalysisReport::default()),
-            Some(t) => crate::analysis::analyze(ctx, &[t]).map(|a| a.report),
+            Some(t) => {
+                let analysis = crate::analysis::analyze(ctx, std::slice::from_ref(&t))?;
+                let exempt = if ctx.cfg().cost_optimize {
+                    // Dry-run the optimizer: a lint it would fix (an
+                    // auto-cached W001/W004 node) is not a deniable
+                    // offence under FLASHR_DENY_LINTS.
+                    let run_targets: &[Target] =
+                        if ctx.cfg().optimize { &analysis.targets } else { std::slice::from_ref(&t) };
+                    let cost = crate::analysis::cost::estimate(ctx, run_targets);
+                    crate::analysis::optimize::plan(ctx, run_targets, &cost).auto_cache
+                } else {
+                    Default::default()
+                };
+                crate::analysis::deny_gate(&analysis.report.lints, &exempt)?;
+                Ok(analysis.report)
+            }
         }
+    }
+
+    /// Machine-readable form of [`FM::check`] plus the cost model's
+    /// estimate, as one JSON object:
+    /// `{"ok":true,"report":{...},"cost":{...}}` on success,
+    /// `{"ok":false,"error":{...}}` when verification fails or
+    /// `FLASHR_DENY_LINTS` promotes a lint. Already-materialized
+    /// matrices report `{"ok":true,"report":null,"cost":null}`.
+    pub fn check_json(&self, ctx: &FlashCtx) -> String {
+        let Some(t) = self.pending_target() else {
+            return "{\"ok\":true,\"report\":null,\"cost\":null}".to_string();
+        };
+        let analysis = match crate::analysis::analyze(ctx, std::slice::from_ref(&t)) {
+            Ok(a) => a,
+            Err(e) => return format!("{{\"ok\":false,\"error\":{}}}", e.to_json()),
+        };
+        let run_targets: &[Target] =
+            if ctx.cfg().optimize { &analysis.targets } else { std::slice::from_ref(&t) };
+        let cost = crate::analysis::cost::estimate(ctx, run_targets);
+        let exempt = if ctx.cfg().cost_optimize {
+            crate::analysis::optimize::plan(ctx, run_targets, &cost).auto_cache
+        } else {
+            Default::default()
+        };
+        if let Err(e) = crate::analysis::deny_gate(&analysis.report.lints, &exempt) {
+            return format!("{{\"ok\":false,\"error\":{}}}", e.to_json());
+        }
+        format!(
+            "{{\"ok\":true,\"report\":{},\"cost\":{}}}",
+            analysis.report.to_json(),
+            cost.to_json()
+        )
     }
 
     /// Render the pending DAG as an indented text tree (R's `explain()`):

@@ -104,6 +104,18 @@ impl MetricSource for ExecStatsSource {
             vec![],
             s.write_stall_nanos,
         ));
+        out.push(Sample::counter(
+            "flashr_exec_opt_decisions_total",
+            "Plan decisions taken by the cost-based optimizer.",
+            vec![],
+            s.opt_decisions,
+        ));
+        out.push(Sample::counter(
+            "flashr_exec_opt_cache_bytes_total",
+            "Bytes of reused subtrees the optimizer auto-cached.",
+            vec![],
+            s.opt_cache_bytes,
+        ));
     }
 }
 

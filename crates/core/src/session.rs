@@ -71,6 +71,15 @@ pub struct CtxConfig {
     /// [`optimize`](CtxConfig::optimize); results are bit-identical
     /// either way.
     pub fuse_chains: bool,
+    /// Whether the cost-based plan optimizer runs before execution:
+    /// auto-`set.cache` of reused subtrees the [`MemGovernor`] admits,
+    /// matmul-aware fusion boundaries, per-plan Pcache-step and
+    /// readahead-depth choices, and eager pass reordering for leaf
+    /// sharing. Off by default — the analyzer then only *warns* (W001/
+    /// W004); the figure bins and benches opt in. The third A/B knob
+    /// alongside [`optimize`](CtxConfig::optimize) and
+    /// [`fuse_chains`](CtxConfig::fuse_chains).
+    pub cost_optimize: bool,
     /// Upper bound on in-flight asynchronous external-memory output
     /// writes per worker. When the bound is reached the worker waits for
     /// the *oldest* write only, keeping the remaining slots streaming.
@@ -95,6 +104,7 @@ impl Default for CtxConfig {
             trace: TraceLevel::from_env(),
             optimize: true,
             fuse_chains: true,
+            cost_optimize: false,
             max_pending_writes: 8,
             mem_budget: None,
         }
@@ -205,6 +215,21 @@ impl MemGovernor {
 
     pub(crate) fn note_spill(&self) {
         self.inner.spills.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Whether a pin of `bytes` would currently succeed, without
+    /// reserving anything. The plan optimizer's admission probe: racy by
+    /// design (a concurrent pin can invalidate the answer), so the
+    /// actual reservation still goes through [`try_pin`](Self::try_pin)
+    /// at materialization time and falls back to spilling.
+    pub fn would_admit(&self, bytes: u64) -> bool {
+        if self.inner.budget == 0 {
+            return true;
+        }
+        match self.inner.pinned.load(Ordering::Relaxed).checked_add(bytes) {
+            Some(next) => next <= self.inner.budget,
+            None => false,
+        }
     }
 
     /// The pinnable budget in bytes (0 = unlimited).
@@ -487,6 +512,13 @@ impl FlashCtx {
     /// bit-identical either way).
     pub fn with_fuse_chains(&self, fuse_chains: bool) -> FlashCtx {
         let cfg = CtxConfig { fuse_chains, ..self.inner.cfg.clone() };
+        FlashCtx::with_config(cfg, self.inner.safs.clone())
+    }
+
+    /// A copy of this context with the cost-based plan optimizer
+    /// switched on or off (see [`CtxConfig::cost_optimize`]).
+    pub fn with_cost_optimize(&self, cost_optimize: bool) -> FlashCtx {
+        let cfg = CtxConfig { cost_optimize, ..self.inner.cfg.clone() };
         FlashCtx::with_config(cfg, self.inner.safs.clone())
     }
 

@@ -39,6 +39,11 @@ pub struct ExecStats {
     pub compute_nanos: AtomicU64,
     /// Worker nanoseconds spent stalled on result write-back.
     pub write_stall_nanos: AtomicU64,
+    /// Plan decisions taken by the cost-based optimizer
+    /// ([`crate::session::CtxConfig::cost_optimize`]).
+    pub opt_decisions: AtomicU64,
+    /// Bytes of reused subtrees the optimizer auto-cached.
+    pub opt_cache_bytes: AtomicU64,
 }
 
 /// Point-in-time copy of [`ExecStats`].
@@ -57,6 +62,8 @@ pub struct ExecStatsSnapshot {
     pub io_wait_nanos: u64,
     pub compute_nanos: u64,
     pub write_stall_nanos: u64,
+    pub opt_decisions: u64,
+    pub opt_cache_bytes: u64,
 }
 
 impl ExecStats {
@@ -76,6 +83,8 @@ impl ExecStats {
             io_wait_nanos: self.io_wait_nanos.load(Ordering::Relaxed),
             compute_nanos: self.compute_nanos.load(Ordering::Relaxed),
             write_stall_nanos: self.write_stall_nanos.load(Ordering::Relaxed),
+            opt_decisions: self.opt_decisions.load(Ordering::Relaxed),
+            opt_cache_bytes: self.opt_cache_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -106,6 +115,8 @@ impl ExecStatsSnapshot {
             io_wait_nanos: later.io_wait_nanos.saturating_sub(self.io_wait_nanos),
             compute_nanos: later.compute_nanos.saturating_sub(self.compute_nanos),
             write_stall_nanos: later.write_stall_nanos.saturating_sub(self.write_stall_nanos),
+            opt_decisions: later.opt_decisions.saturating_sub(self.opt_decisions),
+            opt_cache_bytes: later.opt_cache_bytes.saturating_sub(self.opt_cache_bytes),
         }
     }
 }

@@ -245,6 +245,7 @@ mod tests {
             cache: CacheStatsSnapshot::default(),
             workers,
             ops: Vec::new(),
+            optimizer: Vec::new(),
         }
     }
 

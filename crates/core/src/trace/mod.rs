@@ -151,6 +151,9 @@ pub struct PassProfile {
     pub workers: Vec<WorkerProfile>,
     /// Per-node timings; empty below [`TraceLevel::Op`].
     pub ops: Vec<OpProfile>,
+    /// Cost-optimizer decisions applied to this pass (predicted vs.
+    /// actual bytes); empty when `cost_optimize` is off.
+    pub optimizer: Vec<crate::analysis::optimize::Decision>,
 }
 
 impl PassProfile {
@@ -251,6 +254,15 @@ impl Tracer {
     /// Copy out the recorded profiles.
     pub fn passes(&self) -> Vec<PassProfile> {
         self.passes.lock().clone()
+    }
+
+    /// Attach the cost-optimizer's decision log (with actuals scraped
+    /// post-pass) to the most recently recorded pass. No-op when no pass
+    /// was recorded (trace level below `Pass`).
+    pub(crate) fn attach_optimizer(&self, decisions: Vec<crate::analysis::optimize::Decision>) {
+        if let Some(last) = self.passes.lock().last_mut() {
+            last.optimizer = decisions;
+        }
     }
 
     /// Profiles dropped because the per-context cap was reached.
@@ -392,6 +404,8 @@ fn exec_json(e: &ExecStatsSnapshot, out: &mut String) {
     field_u64("io_wait_nanos", e.io_wait_nanos, false, out);
     field_u64("compute_nanos", e.compute_nanos, false, out);
     field_u64("write_stall_nanos", e.write_stall_nanos, false, out);
+    field_u64("opt_decisions", e.opt_decisions, false, out);
+    field_u64("opt_cache_bytes", e.opt_cache_bytes, false, out);
     out.push('}');
 }
 
@@ -513,6 +527,13 @@ fn pass_json(p: &PassProfile, out: &mut String) {
         field_u64("saved_bytes", op.saved_bytes, false, out);
         out.push('}');
     }
+    out.push_str("],\"optimizer\":[");
+    for (i, d) in p.optimizer.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        d.write_json(out);
+    }
     out.push_str("]}");
 }
 
@@ -584,6 +605,7 @@ mod tests {
             cache: CacheStatsSnapshot::default(),
             workers: Vec::new(),
             ops: Vec::new(),
+            optimizer: Vec::new(),
         };
         for _ in 0..(MAX_PASSES + 10) {
             t.record_pass(p.clone());
@@ -628,6 +650,7 @@ mod tests {
                 chain_len: 0,
                 saved_bytes: 0,
             }],
+            optimizer: Vec::new(),
         });
         let report = ProfileReport {
             exec: ExecStatsSnapshot { passes: 1, parts: 2, ..Default::default() },

@@ -256,6 +256,11 @@ pub struct PageCache {
     shard_budget: u64,
     shards: Vec<Shard>,
     seq: Mutex<HashMap<u64, SeqState>>,
+    /// Live per-plan readahead-window override (`u64::MAX` = none).
+    /// Unlike replacing the cache via `set_page_cache`, flipping this
+    /// keeps resident data, so a plan optimizer can tune the window for
+    /// one pass and restore it afterwards.
+    readahead_override: AtomicU64,
 }
 
 impl PageCache {
@@ -267,12 +272,28 @@ impl PageCache {
             shards: (0..nshards).map(|_| Shard::default()).collect(),
             seq: Mutex::new(HashMap::new()),
             cfg: CacheCfg { shards: nshards, ..cfg },
+            readahead_override: AtomicU64::new(u64::MAX),
         }
     }
 
     /// Configured capacity in bytes.
     pub fn capacity_bytes(&self) -> u64 {
         self.cfg.capacity_bytes
+    }
+
+    /// Override (or, with `None`, restore) the readahead window without
+    /// touching resident data.
+    pub fn set_readahead_override(&self, parts: Option<u64>) {
+        self.readahead_override.store(parts.unwrap_or(u64::MAX), Ordering::Relaxed);
+    }
+
+    /// The readahead window currently in force: the live override if one
+    /// is set, else the configured `readahead_parts`.
+    pub fn effective_readahead(&self) -> u64 {
+        match self.readahead_override.load(Ordering::Relaxed) {
+            u64::MAX => self.cfg.readahead_parts,
+            n => n,
+        }
     }
 
     /// Aggregate counters across all shards plus the resident-bytes
@@ -450,7 +471,8 @@ impl PageCache {
     /// the returned partitions are already inserted; the caller submits
     /// the reads and parks each ticket with [`park_readahead`](Self::park_readahead).
     pub(crate) fn plan_readahead(&self, uid: u64, part: u64, nparts: u64) -> Vec<u64> {
-        if self.cfg.readahead_parts == 0 {
+        let depth = self.effective_readahead();
+        if depth == 0 {
             return Vec::new();
         }
         let window = {
@@ -463,7 +485,7 @@ impl PageCache {
             }
             st.next = part + 1;
             if st.run >= self.cfg.seq_run {
-                self.cfg.readahead_parts
+                depth
             } else {
                 0
             }

@@ -53,6 +53,11 @@ pub enum DecisionKind {
     Readahead,
     /// Reorder eager per-target passes for leaf sharing.
     PassOrder,
+    /// Log-only calibration hint: the critical-path analyzer's
+    /// compute-vs-I/O verdict for the pass, recorded so the byte-based
+    /// cost model's predictions can be read against where the wall
+    /// clock actually went. Changes no plan.
+    Calibration,
 }
 
 impl DecisionKind {
@@ -63,6 +68,7 @@ impl DecisionKind {
             DecisionKind::PcacheStep => "pcache-step",
             DecisionKind::Readahead => "readahead",
             DecisionKind::PassOrder => "pass-order",
+            DecisionKind::Calibration => "calibration",
         }
     }
 }

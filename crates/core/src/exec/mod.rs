@@ -127,6 +127,9 @@ pub fn materialize(ctx: &FlashCtx, targets: &[Target]) -> Vec<TargetResult> {
 
     let stats_before = ctx.stats().snapshot();
     let io_before = ctx.safs().map(|s| s.stats_snapshot());
+    // Pass count before the run, so the calibration hint below only
+    // looks at the passes this materialization recorded.
+    let tracer_passes_before = if ctx.cfg().cost_optimize { ctx.tracer().passes().len() } else { 0 };
     if readahead.is_some() {
         if let Some(s) = ctx.safs() {
             s.set_readahead_override(readahead);
@@ -160,10 +163,21 @@ pub fn materialize(ctx: &FlashCtx, targets: &[Target]) -> Vec<TargetResult> {
         }
     }
 
+    if ctx.cfg().cost_optimize {
+        decisions.push(calibration_hint(ctx, tracer_passes_before, &stats_before));
+    }
+
     if !decisions.is_empty() {
         fill_decision_actuals(ctx, run_targets, &mut decisions, &stats_before, io_before.as_ref());
         let stats = ctx.stats();
-        stats.add(&stats.opt_decisions, decisions.len() as u64);
+        // The calibration hint is log-only: it rides in the decision list
+        // for pass profiles but is not an *actionable* optimizer decision,
+        // so it stays out of the counter.
+        let actionable = decisions
+            .iter()
+            .filter(|d| !matches!(d.kind, crate::analysis::optimize::DecisionKind::Calibration))
+            .count();
+        stats.add(&stats.opt_decisions, actionable as u64);
         let cached: u64 = decisions
             .iter()
             .filter(|d| matches!(d.kind, crate::analysis::optimize::DecisionKind::AutoCache))
@@ -184,6 +198,69 @@ pub fn materialize(ctx: &FlashCtx, targets: &[Target]) -> Vec<TargetResult> {
         }
     }
     results
+}
+
+/// Log-only calibration hint (recorded as a [`DecisionKind::Calibration`]
+/// decision): where the wall clock of this materialization actually went,
+/// read against the byte-based cost model's predictions.
+///
+/// Preferred source is the critical-path analyzer over the passes this
+/// run recorded (available at `FLASHR_TRACE=pass` and up); when tracing
+/// is below that, the always-on `ExecStats` worker-time counters supply
+/// the same compute/io-wait/write-stall split without idle attribution.
+/// Changes no plan — the verdict only lands in pass profiles and bench
+/// artifacts so mispriced plans are visible.
+///
+/// [`DecisionKind::Calibration`]: crate::analysis::optimize::DecisionKind::Calibration
+fn calibration_hint(
+    ctx: &FlashCtx,
+    passes_before: usize,
+    stats_before: &crate::stats::ExecStatsSnapshot,
+) -> crate::analysis::optimize::Decision {
+    use crate::trace::CriticalPath;
+
+    let passes = ctx.tracer().passes();
+    let new_passes = &passes[passes_before.min(passes.len())..];
+    let lanes = ctx.tracer().timeline().map(|t| t.snapshot()).unwrap_or_default();
+    let rows = CriticalPath::analyze(new_passes, &lanes);
+    let ms = |nanos: u64| nanos / 1_000_000;
+    let (source, compute, io_wait, write_stall, idle) = if rows.is_empty() {
+        let d = stats_before.delta(&ctx.stats().snapshot());
+        ("exec-counters", d.compute_nanos, d.io_wait_nanos, d.write_stall_nanos, 0)
+    } else {
+        (
+            "critical-path",
+            rows.iter().map(|b| b.compute_nanos).sum(),
+            rows.iter().map(|b| b.io_wait_nanos).sum(),
+            rows.iter().map(|b| b.write_stall_nanos).sum(),
+            rows.iter().map(|b| b.idle_nanos).sum(),
+        )
+    };
+    let verdict = [
+        ("compute", compute),
+        ("io-wait", io_wait),
+        ("write-stall", write_stall),
+        ("idle", idle),
+    ]
+    .into_iter()
+    .max_by_key(|&(_, v)| v)
+    .map(|(name, _)| name)
+    .unwrap_or("compute");
+    crate::analysis::optimize::Decision {
+        kind: crate::analysis::optimize::DecisionKind::Calibration,
+        node: 0,
+        detail: format!(
+            "{source} verdict {verdict}: compute {}ms, io-wait {}ms, write-stall {}ms, \
+             idle {}ms over {} pass(es)",
+            ms(compute),
+            ms(io_wait),
+            ms(write_stall),
+            ms(idle),
+            new_passes.len(),
+        ),
+        predicted_bytes: 0,
+        actual_bytes: None,
+    }
 }
 
 /// Post-run bookkeeping for optimizer decisions: scrape what actually
@@ -216,6 +293,8 @@ fn fill_decision_actuals(
                 .unwrap_or(0),
             DecisionKind::PcacheStep => exec_delta.node_chunk_bytes,
             DecisionKind::Readahead | DecisionKind::PassOrder => io_read_delta,
+            // Log-only: the hint moves no bytes by construction.
+            DecisionKind::Calibration => 0,
         });
     }
 }

@@ -194,6 +194,12 @@ impl MetricSource for SafsSource {
             vec![],
             io.throttle_wait_nanos,
         ));
+        out.push(Sample::counter(
+            "flashr_io_retries_total",
+            "Transient I/O errors retried by the backend workers.",
+            vec![],
+            io.io_retries,
+        ));
         out.push(Sample::gauge(
             "flashr_io_queue_depth",
             "Requests currently in flight across the I/O queues.",
@@ -206,6 +212,54 @@ impl MetricSource for SafsSource {
             vec![],
             io.max_queue_depth,
         ));
+        // Per-shard (emulated device) lanes of the storage backend. The
+        // `shard` label here names a *storage* shard — a SAFS root
+        // directory — not a page-cache NUMA shard (those label the
+        // `flashr_cache_*` families below).
+        for (i, s) in self.0.shard_stats_snapshots().iter().enumerate() {
+            let shard = i.to_string();
+            let l = |op: &str| vec![("shard", shard.clone()), ("op", op.to_string())];
+            for (op, reqs, bytes) in
+                [("read", s.read_reqs, s.read_bytes), ("write", s.write_reqs, s.write_bytes)]
+            {
+                out.push(Sample::counter(
+                    "flashr_io_shard_requests_total",
+                    "Requests completed, by storage shard and direction.",
+                    l(op),
+                    reqs,
+                ));
+                out.push(Sample::counter(
+                    "flashr_io_shard_bytes_total",
+                    "Bytes moved, by storage shard and direction.",
+                    l(op),
+                    bytes,
+                ));
+            }
+            out.push(Sample::counter(
+                "flashr_io_shard_retries_total",
+                "Transient I/O errors retried, by storage shard.",
+                vec![("shard", shard.clone())],
+                s.retries,
+            ));
+            out.push(Sample::histogram(
+                "flashr_io_shard_latency_ns",
+                "Per-request device latency by storage shard (log2 buckets, ns).",
+                vec![("shard", shard.clone())],
+                s.lat,
+            ));
+            out.push(Sample::gauge(
+                "flashr_io_shard_queue_depth",
+                "Requests in flight on this storage shard's queue.",
+                vec![("shard", shard.clone())],
+                s.cur_queue_depth,
+            ));
+            out.push(Sample::gauge(
+                "flashr_io_shard_queue_depth_max",
+                "Deepest this storage shard's queue has run.",
+                vec![("shard", shard.clone())],
+                s.max_queue_depth,
+            ));
+        }
         out.push(Sample::gauge(
             "flashr_cache_capacity_bytes",
             "Configured page-cache capacity (0 = no cache).",

@@ -467,6 +467,12 @@ impl FlashCtx {
         ProfileReport {
             exec: self.inner.stats.snapshot(),
             io: self.inner.safs.as_ref().map(|s| s.stats_snapshot()),
+            io_shards: self
+                .inner
+                .safs
+                .as_ref()
+                .map(|s| s.shard_stats_snapshots())
+                .unwrap_or_default(),
             critical_path: CriticalPath::analyze(&passes, &lanes),
             dropped_events: self.inner.tracer.dropped_events(),
             passes,

@@ -36,7 +36,9 @@ pub use critical::{CriticalPath, PassBreakdown};
 pub use timeline::{EventKind, Lane, LaneSnapshot, SpanEvent, Timeline};
 
 use crate::stats::ExecStatsSnapshot;
-use flashr_safs::{CacheStatsSnapshot, IoStatsSnapshot, LatencyHistoSnapshot, LAT_BUCKETS};
+use flashr_safs::{
+    CacheStatsSnapshot, IoStatsSnapshot, LatencyHistoSnapshot, ShardStatsSnapshot, LAT_BUCKETS,
+};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -287,6 +289,9 @@ pub struct ProfileReport {
     /// SAFS I/O counters and latency histograms; `None` for in-memory
     /// contexts.
     pub io: Option<IoStatsSnapshot>,
+    /// Per-shard (emulated device) I/O counters in shard order; empty
+    /// for in-memory contexts.
+    pub io_shards: Vec<ShardStatsSnapshot>,
     pub passes: Vec<PassProfile>,
     pub dropped_passes: u64,
     /// Per-pass wall-clock attribution (compute / io-wait / write-stall
@@ -310,6 +315,14 @@ impl ProfileReport {
             Some(io) => io_json(io, &mut o),
             None => o.push_str("null"),
         }
+        o.push_str(",\"io_shards\":[");
+        for (i, s) in self.io_shards.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            shard_json(s, &mut o);
+        }
+        o.push(']');
         o.push_str(",\"dropped_passes\":");
         push_u64(self.dropped_passes, &mut o);
         o.push_str(",\"dropped_events\":");
@@ -445,6 +458,7 @@ fn io_json(io: &IoStatsSnapshot, out: &mut String) {
     field_u64("read_nanos", io.read_nanos, false, out);
     field_u64("write_nanos", io.write_nanos, false, out);
     field_u64("throttle_wait_nanos", io.throttle_wait_nanos, false, out);
+    field_u64("io_retries", io.io_retries, false, out);
     field_u64("cur_queue_depth", io.cur_queue_depth, false, out);
     field_u64("max_queue_depth", io.max_queue_depth, false, out);
     out.push_str(",\"cache\":");
@@ -453,6 +467,22 @@ fn io_json(io: &IoStatsSnapshot, out: &mut String) {
     histo_json(&io.read_lat, out);
     out.push_str(",\"write_lat\":");
     histo_json(&io.write_lat, out);
+    out.push('}');
+}
+
+/// Serialize one storage shard's counters (also used by benchmark
+/// artifacts).
+pub fn shard_json(s: &ShardStatsSnapshot, out: &mut String) {
+    out.push('{');
+    field_u64("read_reqs", s.read_reqs, true, out);
+    field_u64("write_reqs", s.write_reqs, false, out);
+    field_u64("read_bytes", s.read_bytes, false, out);
+    field_u64("write_bytes", s.write_bytes, false, out);
+    field_u64("retries", s.retries, false, out);
+    field_u64("cur_queue_depth", s.cur_queue_depth, false, out);
+    field_u64("max_queue_depth", s.max_queue_depth, false, out);
+    out.push_str(",\"lat\":");
+    histo_json(&s.lat, out);
     out.push('}');
 }
 
@@ -655,6 +685,7 @@ mod tests {
         let report = ProfileReport {
             exec: ExecStatsSnapshot { passes: 1, parts: 2, ..Default::default() },
             io: None,
+            io_shards: vec![ShardStatsSnapshot { read_reqs: 3, ..Default::default() }],
             passes: t.passes(),
             dropped_passes: 0,
             critical_path: Vec::new(),
@@ -666,6 +697,7 @@ mod tests {
         assert!(json.contains("\"dropped_events\":0"));
         assert!(json.contains("\"critical_path\":[]"));
         assert!(json.contains("\"io\":null"));
+        assert!(json.contains("\"io_shards\":[{\"read_reqs\":3,"));
         // escaping: the label's quotes must be escaped
         assert!(json.contains("mapply:Add \\\"x\\\""));
         // crude structural check: balanced braces/brackets

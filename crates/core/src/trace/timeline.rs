@@ -283,8 +283,9 @@ impl std::fmt::Debug for Timeline {
     }
 }
 
-/// SAFS-side spans land on the calling thread's lane: I/O threads have
-/// stable `safs-io-dXtY` names, and compute threads calling into the
+/// SAFS-side spans land on the calling thread's lane: backend I/O
+/// threads have stable `safs-<flavor>-s<shard>t<n>` names (one lane
+/// group per storage shard), and compute threads calling into the
 /// cache reuse the worker lane their executor spans are on.
 impl SpanSink for Timeline {
     fn span(&self, cat: &'static str, name: &'static str, begin_ns: u64, end_ns: u64, args: SpanArgs) {

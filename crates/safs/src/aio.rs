@@ -1,23 +1,20 @@
-//! Asynchronous I/O engine: per-disk request queues drained by dedicated
-//! I/O threads, mirroring SAFS's per-device I/O thread design.
+//! Asynchronous request and completion types shared by every storage
+//! backend.
 //!
-//! Compute threads submit partition-granular requests and continue working;
-//! completion is observed through an [`IoTicket`]. This is what lets the
-//! FlashR scheduler overlap reading partition `i+1` with computing on
-//! partition `i` (paper §3.3).
+//! Compute threads submit partition-granular requests and continue
+//! working; completion is observed through an [`IoTicket`]. This is what
+//! lets the FlashR scheduler overlap reading partition `i+1` with
+//! computing on partition `i` (paper §3.3). The engine that services the
+//! requests — per-shard queues drained by dedicated worker threads —
+//! lives in [`crate::backend`].
 
 use crate::error::{SafsError, SafsResult};
 use crate::iobuf::IoBuf;
-use crate::span::{now_nanos, SpanSinkCell};
-use crate::stats::IoStats;
-use crate::throttle::Throttle;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::fs::File;
-use std::os::unix::fs::FileExt;
 use std::sync::Arc;
-use std::time::Instant;
 
-/// What an I/O thread is asked to do with the byte range.
+/// What a backend worker is asked to do with the byte range.
 pub(crate) enum IoOp {
     /// Fill `buf` from the file (buf comes pre-sized to the read length).
     Read { buf: IoBuf },
@@ -26,15 +23,20 @@ pub(crate) enum IoOp {
 }
 
 /// One queued request against a strip file.
-pub(crate) struct IoReq {
-    pub file: Arc<File>,
-    pub offset: u64,
-    pub op: IoOp,
-    pub done: Sender<SafsResult<IoBuf>>,
-    pub context: String,
-    /// Submission timestamp ([`now_nanos`]); stamped by the runtime only
-    /// while a span sink is installed, 0 otherwise.
-    pub submit_ns: u64,
+///
+/// Public only so it can appear in [`StorageBackend::submit`]
+/// (crate::StorageBackend::submit) signatures; the fields (and therefore
+/// construction) are crate-private — requests are minted by
+/// [`SafsFile`](crate::SafsFile) operations.
+pub struct IoReq {
+    pub(crate) file: Arc<File>,
+    pub(crate) offset: u64,
+    pub(crate) op: IoOp,
+    pub(crate) done: Sender<SafsResult<IoBuf>>,
+    pub(crate) context: String,
+    /// Submission timestamp ([`now_nanos`](crate::now_nanos)); stamped
+    /// at submit time only while a span sink is installed, 0 otherwise.
+    pub(crate) submit_ns: u64,
 }
 
 /// Handle to a pending asynchronous request.
@@ -68,70 +70,4 @@ impl IoTicket {
 pub(crate) fn completion() -> (Sender<SafsResult<IoBuf>>, IoTicket) {
     let (tx, rx) = bounded(1);
     (tx, IoTicket::new(rx))
-}
-
-/// Body of one I/O thread: drain the disk queue until all senders drop.
-pub(crate) fn io_thread_main(
-    rx: Receiver<IoReq>,
-    stats: Arc<IoStats>,
-    throttle: Option<Arc<Throttle>>,
-    span_sink: Arc<SpanSinkCell>,
-) {
-    while let Ok(req) = rx.recv() {
-        let sink = span_sink.get();
-        let device_ns = sink.as_ref().map(|_| now_nanos());
-        let started = Instant::now();
-        let is_read = matches!(req.op, IoOp::Read { .. });
-        let mut nbytes = 0u64;
-        let result = match req.op {
-            IoOp::Read { mut buf } => match req.file.read_exact_at(buf.as_mut_bytes(), req.offset) {
-                Ok(()) => {
-                    if let Some(t) = &throttle {
-                        let waited = t.charge(buf.len() as u64);
-                        stats.record_throttle_wait(waited.as_nanos() as u64);
-                    }
-                    nbytes = buf.len() as u64;
-                    stats.record_read(nbytes, started.elapsed().as_nanos() as u64);
-                    Ok(buf)
-                }
-                Err(e) => Err(SafsError::io(req.context, e)),
-            },
-            IoOp::Write { buf } => match req.file.write_all_at(buf.as_bytes(), req.offset) {
-                Ok(()) => {
-                    if let Some(t) = &throttle {
-                        let waited = t.charge(buf.len() as u64);
-                        stats.record_throttle_wait(waited.as_nanos() as u64);
-                    }
-                    nbytes = buf.len() as u64;
-                    stats.record_write(nbytes, started.elapsed().as_nanos() as u64);
-                    Ok(buf)
-                }
-                Err(e) => Err(SafsError::io(req.context, e)),
-            },
-        };
-        if let (Some(sink), Some(device_ns)) = (&sink, device_ns) {
-            // The request's life splits into a queue span (submit → the
-            // I/O thread picks it up; attributed to this thread's track
-            // because only here are both timestamps known) and a device
-            // span (the blocking read/write itself).
-            let end_ns = now_nanos();
-            if req.submit_ns > 0 && req.submit_ns <= device_ns {
-                sink.span("io", "queue", req.submit_ns, device_ns, [("bytes", nbytes), ("", 0)]);
-            }
-            let name = if result.is_ok() {
-                if is_read {
-                    "read"
-                } else {
-                    "write"
-                }
-            } else {
-                "io-error"
-            };
-            sink.span("io", name, device_ns, end_ns, [("bytes", nbytes), ("", 0)]);
-            sink.counter("io-queue-depth", end_ns, stats.depth().saturating_sub(1));
-        }
-        // The submitter may have dropped its ticket; that's fine.
-        let _ = req.done.send(result);
-        stats.queue_exit();
-    }
 }

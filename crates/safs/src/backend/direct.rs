@@ -1,0 +1,55 @@
+//! The direct thread-pool backend: positional I/O against real files at
+//! host-device speed.
+//!
+//! Same per-shard queues, workers, retry policy and statistics as
+//! [`SimBackend`](super::SimBackend), but no bandwidth throttle sits in
+//! the path — requests complete as fast as the underlying storage
+//! allows, so placing each shard root on a distinct physical device
+//! yields true parallel I/O. "`O_DIRECT`-style" refers to the request
+//! shape (partition-granular positional reads/writes from dedicated
+//! per-device threads, as SAFS issues them): the `O_DIRECT` open flag
+//! itself is not set because the crate carries no libc dependency and
+//! [`IoBuf`](crate::IoBuf) makes no sector-alignment guarantee.
+
+use super::worker::{ShardSet, WorkerEnv};
+use super::{BackendKind, ShardStatsSnapshot, StorageBackend};
+use crate::aio::IoReq;
+use crate::config::SafsConfig;
+use crate::error::SafsResult;
+
+/// Real-file thread-pool backend (no throttle emulation).
+pub struct DirectBackend {
+    set: ShardSet,
+}
+
+impl DirectBackend {
+    pub(crate) fn open(cfg: &SafsConfig, env: WorkerEnv) -> SafsResult<DirectBackend> {
+        Ok(DirectBackend { set: ShardSet::open(cfg, false, &env, "dir")? })
+    }
+}
+
+impl StorageBackend for DirectBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Direct
+    }
+
+    fn nshards(&self) -> usize {
+        self.set.nshards()
+    }
+
+    fn submit(&self, shard: usize, req: IoReq) {
+        self.set.submit(shard, req);
+    }
+
+    fn flush(&self) {
+        self.set.flush();
+    }
+
+    fn shard_stats(&self) -> Vec<ShardStatsSnapshot> {
+        self.set.shard_stats()
+    }
+
+    fn shutdown(&self) {
+        self.set.shutdown();
+    }
+}

@@ -1,0 +1,52 @@
+//! The simulated aio-thread backend: the crate's original I/O engine,
+//! now behind [`StorageBackend`].
+//!
+//! Each shard (emulated device) owns a request queue, a pool of worker
+//! threads and — when [`SafsConfig::throttle`] is set — its own
+//! [`Throttle`](crate::throttle) pacing completions to the configured
+//! per-device bandwidth. Striping partitions across N shards therefore
+//! scales aggregate emulated bandwidth by N, which is what makes the
+//! shard-sweep benchmark's scaling curve deterministic on any host.
+
+use super::worker::{ShardSet, WorkerEnv};
+use super::{BackendKind, ShardStatsSnapshot, StorageBackend};
+use crate::aio::IoReq;
+use crate::config::SafsConfig;
+use crate::error::SafsResult;
+
+/// Simulated-device backend (throttled per-shard aio threads).
+pub struct SimBackend {
+    set: ShardSet,
+}
+
+impl SimBackend {
+    pub(crate) fn open(cfg: &SafsConfig, env: WorkerEnv) -> SafsResult<SimBackend> {
+        Ok(SimBackend { set: ShardSet::open(cfg, true, &env, "sim")? })
+    }
+}
+
+impl StorageBackend for SimBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Sim
+    }
+
+    fn nshards(&self) -> usize {
+        self.set.nshards()
+    }
+
+    fn submit(&self, shard: usize, req: IoReq) {
+        self.set.submit(shard, req);
+    }
+
+    fn flush(&self) {
+        self.set.flush();
+    }
+
+    fn shard_stats(&self) -> Vec<ShardStatsSnapshot> {
+        self.set.shard_stats()
+    }
+
+    fn shutdown(&self) {
+        self.set.shutdown();
+    }
+}

@@ -1,6 +1,8 @@
 //! Runtime configuration for the SAFS substrate.
 
+use crate::backend::{BackendKind, RetryCfg};
 use crate::cache::CacheCfg;
+use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 
 /// Emulated device-bandwidth limit applied per disk.
@@ -34,46 +36,68 @@ impl ThrottleCfg {
     }
 }
 
+/// `FLASHR_SAFS_SHARDS` override for [`SafsConfig::striped_under`]:
+/// parseable positive integer or nothing.
+fn shards_from_env() -> Option<usize> {
+    std::env::var("FLASHR_SAFS_SHARDS").ok()?.trim().parse::<usize>().ok().filter(|&n| n >= 1)
+}
+
 /// Configuration for a [`Safs`](crate::Safs) runtime.
 #[derive(Debug, Clone)]
 pub struct SafsConfig {
-    /// One directory per emulated disk. Directories may live on distinct
-    /// physical devices to get true parallel I/O.
+    /// One directory per shard (emulated device). Directories may live
+    /// on distinct physical devices to get true parallel I/O.
     pub disks: Vec<PathBuf>,
-    /// I/O threads servicing each disk's request queue.
+    /// I/O threads servicing each shard's request queue.
     pub io_threads_per_disk: usize,
     /// Number of contiguous partitions a scheduler should dispatch as one
     /// batch (the "SAFS block size" of paper §3.3).
     pub dispatch_batch: usize,
-    /// Optional bandwidth emulation.
+    /// Optional bandwidth emulation, one throttle per shard (applied by
+    /// the `Sim` backend only).
     pub throttle: Option<ThrottleCfg>,
     /// Optional user-space page cache (SA-cache, paper §3.2.1). `None`
     /// or a zero capacity leaves every read going straight to the
     /// device.
     pub cache: Option<CacheCfg>,
+    /// Which storage backend drives the shards. Defaults to the value of
+    /// `FLASHR_BACKEND` (`sim` | `direct`), falling back to `Sim`.
+    pub backend: BackendKind,
+    /// Bounded retry-with-backoff policy for transient I/O errors.
+    pub retry: RetryCfg,
 }
 
 impl SafsConfig {
-    /// All disks inside subdirectories of `root` (`disk0`, `disk1`, ...).
+    /// All shards inside subdirectories of `root` (`disk0`, `disk1`, ...).
+    ///
+    /// The shard count honours the `FLASHR_SAFS_SHARDS` environment
+    /// variable when set (CI uses it to run the whole test suite over a
+    /// wider array); explicit layouts built from [`SafsConfig`] fields
+    /// directly are never overridden.
     pub fn striped_under(root: impl AsRef<Path>, ndisks: usize) -> Self {
         let root = root.as_ref();
+        let ndisks = shards_from_env().unwrap_or(ndisks).max(1);
         SafsConfig {
-            disks: (0..ndisks.max(1)).map(|d| root.join(format!("disk{d}"))).collect(),
-            io_threads_per_disk: 2,
-            dispatch_batch: 4,
-            throttle: None,
-            cache: None,
+            disks: (0..ndisks).map(|d| root.join(format!("disk{d}"))).collect(),
+            ..SafsConfig::defaults_for(vec![])
         }
     }
 
     /// A single-directory instance (no striping) — convenient for tests.
     pub fn single_dir(dir: impl AsRef<Path>) -> Self {
+        SafsConfig::defaults_for(vec![dir.as_ref().to_path_buf()])
+    }
+
+    /// The default knobs around an explicit shard-root list.
+    fn defaults_for(disks: Vec<PathBuf>) -> Self {
         SafsConfig {
-            disks: vec![dir.as_ref().to_path_buf()],
+            disks,
             io_threads_per_disk: 2,
             dispatch_batch: 4,
             throttle: None,
             cache: None,
+            backend: BackendKind::from_env(),
+            retry: RetryCfg::default(),
         }
     }
 
@@ -101,13 +125,99 @@ impl SafsConfig {
         self
     }
 
+    /// Builder-style: pick the storage backend explicitly (overrides the
+    /// `FLASHR_BACKEND` default).
+    pub fn with_backend(mut self, b: BackendKind) -> Self {
+        self.backend = b;
+        self
+    }
+
+    /// Builder-style: set the transient-error retry policy.
+    pub fn with_retry(mut self, r: RetryCfg) -> Self {
+        self.retry = r;
+        self
+    }
+
     pub(crate) fn validate(&self) -> Result<(), crate::SafsError> {
         if self.disks.is_empty() {
-            return Err(crate::SafsError::Config("at least one disk directory required".into()));
+            return Err(crate::SafsError::NoShards);
+        }
+        let mut seen = HashSet::new();
+        for d in &self.disks {
+            if !seen.insert(d.clone()) {
+                return Err(crate::SafsError::DuplicateShardRoot(d.clone()));
+            }
+            if d.exists() && !d.is_dir() {
+                return Err(crate::SafsError::ShardRootNotDir(d.clone()));
+            }
         }
         if self.io_threads_per_disk == 0 {
             return Err(crate::SafsError::Config("io_threads_per_disk must be >= 1".into()));
         }
+        if self.retry.max_attempts == 0 {
+            return Err(crate::SafsError::Config("retry.max_attempts must be >= 1".into()));
+        }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SafsError;
+
+    fn base(disks: Vec<PathBuf>) -> SafsConfig {
+        SafsConfig { disks, ..SafsConfig::single_dir("unused") }
+    }
+
+    #[test]
+    fn validate_rejects_zero_shards() {
+        assert!(matches!(base(vec![]).validate(), Err(SafsError::NoShards)));
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_shard_roots() {
+        let cfg = base(vec![PathBuf::from("/tmp/a"), PathBuf::from("/tmp/b"), PathBuf::from("/tmp/a")]);
+        match cfg.validate() {
+            Err(SafsError::DuplicateShardRoot(p)) => assert_eq!(p, PathBuf::from("/tmp/a")),
+            other => panic!("expected DuplicateShardRoot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_rejects_file_as_shard_root() {
+        let file = std::env::temp_dir().join(format!("safs-cfg-notdir-{}", std::process::id()));
+        std::fs::write(&file, b"not a directory").unwrap();
+        let cfg = base(vec![file.clone()]);
+        match cfg.validate() {
+            Err(SafsError::ShardRootNotDir(p)) => assert_eq!(p, file),
+            other => panic!("expected ShardRootNotDir, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&file);
+    }
+
+    #[test]
+    fn validate_accepts_nonexistent_roots() {
+        // Roots that don't exist yet are fine: `Safs::open` creates them.
+        let cfg = base(vec![std::env::temp_dir().join("safs-cfg-not-yet-created")]);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_retry_attempts() {
+        let mut cfg = base(vec![PathBuf::from("/tmp/one")]);
+        cfg.retry.max_attempts = 0;
+        assert!(matches!(cfg.validate(), Err(SafsError::Config(_))));
+    }
+
+    #[test]
+    fn striped_under_names_disk_subdirs() {
+        // Only meaningful when CI's FLASHR_SAFS_SHARDS override is unset.
+        if std::env::var("FLASHR_SAFS_SHARDS").is_ok() {
+            return;
+        }
+        let cfg = SafsConfig::striped_under("/tmp/root", 3);
+        assert_eq!(cfg.disks.len(), 3);
+        assert_eq!(cfg.disks[2], PathBuf::from("/tmp/root/disk2"));
     }
 }

@@ -2,6 +2,7 @@
 
 use std::fmt;
 use std::io;
+use std::path::PathBuf;
 
 /// Result alias used across the crate.
 pub type SafsResult<T> = Result<T, SafsError>;
@@ -17,7 +18,15 @@ pub enum SafsError {
     BadLength { part: u64, expected: usize, got: usize },
     /// The file was already deleted.
     Deleted,
-    /// Configuration problems (no disks, zero partition size, ...).
+    /// The configuration names no shard roots at all.
+    NoShards,
+    /// The same directory appears as more than one shard root (the
+    /// striping layer assumes distinct roots; two shards sharing one
+    /// would silently clobber each other's strips).
+    DuplicateShardRoot(PathBuf),
+    /// A configured shard root exists but is not a directory.
+    ShardRootNotDir(PathBuf),
+    /// Other configuration problems (zero partition size, ...).
     Config(String),
 }
 
@@ -32,6 +41,15 @@ impl fmt::Display for SafsError {
                 write!(f, "bad buffer length for partition {part}: expected {expected}, got {got}")
             }
             SafsError::Deleted => write!(f, "file was deleted"),
+            SafsError::NoShards => {
+                write!(f, "bad SAFS configuration: at least one shard root directory required")
+            }
+            SafsError::DuplicateShardRoot(p) => {
+                write!(f, "bad SAFS configuration: duplicate shard root {}", p.display())
+            }
+            SafsError::ShardRootNotDir(p) => {
+                write!(f, "bad SAFS configuration: shard root {} is not a directory", p.display())
+            }
             SafsError::Config(msg) => write!(f, "bad SAFS configuration: {msg}"),
         }
     }

@@ -35,6 +35,7 @@
 //! ```
 
 mod aio;
+pub mod backend;
 mod cache;
 mod config;
 mod error;
@@ -47,7 +48,11 @@ mod span;
 mod stats;
 mod throttle;
 
-pub use aio::IoTicket;
+pub use aio::{IoReq, IoTicket};
+pub use backend::{
+    BackendKind, DirectBackend, RetryCfg, ShardStats, ShardStatsSnapshot, SimBackend,
+    StorageBackend,
+};
 pub use cache::{CacheCfg, CacheStatsSnapshot, CachedFetch, PageCache, PendingRead};
 pub use config::{SafsConfig, ThrottleCfg};
 pub use error::{SafsError, SafsResult};

@@ -1,27 +1,25 @@
-//! The SAFS runtime: disk set, I/O thread pools and file factory.
+//! The SAFS runtime: shard set, storage backend and file factory.
 
-use crate::aio::{io_thread_main, IoReq};
+use crate::aio::IoReq;
+use crate::backend::{open_backend, BackendKind, ShardStatsSnapshot, StorageBackend, WorkerEnv};
 use crate::cache::{CacheCfg, CacheStatsSnapshot, PageCache};
 use crate::config::SafsConfig;
 use crate::error::{SafsError, SafsResult};
 use crate::file::{FileInner, SafsFile};
 use crate::layout::Striping;
-use crate::span::{now_nanos, SpanSink, SpanSinkCell};
+use crate::span::{SpanSink, SpanSinkCell};
 use crate::stats::{IoStats, IoStatsSnapshot};
-use crate::throttle::Throttle;
-use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 use std::fs;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// A running SAFS instance.
 ///
 /// Cheap to clone; all clones (and all [`SafsFile`]s created from them)
-/// share the same disks, I/O threads and statistics. The I/O threads shut
-/// down when the last handle and the last file are dropped.
+/// share the same shards, backend workers and statistics. The workers
+/// shut down when the last handle and the last file are dropped.
 #[derive(Clone)]
 pub struct Safs {
     inner: Arc<RtInner>,
@@ -29,39 +27,28 @@ pub struct Safs {
 
 pub(crate) struct RtInner {
     cfg: SafsConfig,
-    queues: Vec<Sender<IoReq>>,
-    threads: Mutex<Vec<JoinHandle<()>>>,
+    backend: Box<dyn StorageBackend>,
     stats: Arc<IoStats>,
     name_counter: AtomicU64,
     page_cache: Mutex<Option<Arc<PageCache>>>,
     span_sink: Arc<SpanSinkCell>,
+    /// Injected transient read faults remaining (testing hook).
+    faults: Arc<AtomicU64>,
 }
 
 impl Drop for RtInner {
     fn drop(&mut self) {
-        // Close the queues first so the I/O threads observe disconnection,
-        // then join them.
-        self.queues.clear();
-        for handle in self.threads.lock().drain(..) {
-            let _ = handle.join();
-        }
+        self.backend.shutdown();
     }
 }
 
 impl RtInner {
-    pub(crate) fn submit(&self, disk: usize, mut req: IoReq) {
-        self.stats.queue_enter();
-        if let Some(sink) = self.span_sink.get() {
-            req.submit_ns = now_nanos();
-            sink.counter("io-queue-depth", req.submit_ns, self.stats.depth());
-        }
-        // The queue only disconnects when RtInner is dropped, which cannot
-        // happen while a file (which holds an Arc to us) is submitting.
-        self.queues[disk].send(req).expect("I/O queue closed while runtime alive");
+    pub(crate) fn submit(&self, shard: usize, req: IoReq) {
+        self.backend.submit(shard, req);
     }
 
-    pub(crate) fn disk_dir(&self, disk: usize) -> &std::path::Path {
-        &self.cfg.disks[disk]
+    pub(crate) fn disk_dir(&self, shard: usize) -> &std::path::Path {
+        &self.cfg.disks[shard]
     }
 
     pub(crate) fn ndisks(&self) -> usize {
@@ -88,44 +75,32 @@ fn name_seed(name: &str) -> u64 {
 }
 
 impl Safs {
-    /// Start a runtime over the configured disks, creating the disk
-    /// directories if needed and spawning the I/O threads.
+    /// Start a runtime over the configured shards, creating the shard
+    /// root directories if needed and spawning the backend's worker
+    /// threads.
     pub fn open(cfg: SafsConfig) -> SafsResult<Safs> {
         cfg.validate()?;
         for dir in &cfg.disks {
             fs::create_dir_all(dir)
-                .map_err(|e| SafsError::io(format!("creating disk dir {}", dir.display()), e))?;
+                .map_err(|e| SafsError::io(format!("creating shard root {}", dir.display()), e))?;
         }
         let stats = Arc::new(IoStats::default());
         let span_sink = Arc::new(SpanSinkCell::default());
-        let mut queues = Vec::with_capacity(cfg.disks.len());
-        let mut threads = Vec::new();
-        for disk in 0..cfg.disks.len() {
-            let (tx, rx) = unbounded::<IoReq>();
-            queues.push(tx);
-            let throttle = cfg.throttle.map(|t| Arc::new(Throttle::new(t)));
-            for t in 0..cfg.io_threads_per_disk {
-                let rx = rx.clone();
-                let stats = stats.clone();
-                let throttle = throttle.clone();
-                let sink = span_sink.clone();
-                let handle = std::thread::Builder::new()
-                    .name(format!("safs-io-d{disk}t{t}"))
-                    .spawn(move || io_thread_main(rx, stats, throttle, sink))
-                    .map_err(|e| SafsError::io("spawning I/O thread", e))?;
-                threads.push(handle);
-            }
-        }
+        let faults = Arc::new(AtomicU64::new(0));
+        let backend = open_backend(
+            &cfg,
+            WorkerEnv { stats: stats.clone(), span_sink: span_sink.clone(), faults: faults.clone() },
+        )?;
         let cache_cfg = cfg.cache;
         let safs = Safs {
             inner: Arc::new(RtInner {
                 cfg,
-                queues,
-                threads: Mutex::new(threads),
+                backend,
                 stats,
                 name_counter: AtomicU64::new(0),
                 page_cache: Mutex::new(None),
                 span_sink,
+                faults,
             }),
         };
         safs.set_page_cache(cache_cfg);
@@ -141,7 +116,7 @@ impl Safs {
     }
 
     /// Install (or, with `None`, remove) a receiver for I/O and cache
-    /// lifecycle spans. The sink is shared with the I/O threads, so it
+    /// lifecycle spans. The sink is shared with the backend workers, so it
     /// takes effect immediately; with no sink installed the hot paths pay
     /// one relaxed atomic load.
     pub fn set_span_sink(&self, sink: Option<Arc<dyn SpanSink>>) {
@@ -236,6 +211,33 @@ impl Safs {
         snap
     }
 
+    /// Per-shard I/O counters in shard order: requests, bytes, retries,
+    /// latency histogram and queue-depth gauges for each emulated device.
+    pub fn shard_stats_snapshots(&self) -> Vec<ShardStatsSnapshot> {
+        self.inner.backend.shard_stats()
+    }
+
+    /// Which storage backend this runtime drives.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.inner.backend.kind()
+    }
+
+    /// Completion barrier: block until every request submitted before
+    /// this call has completed on every shard.
+    pub fn flush(&self) {
+        self.inner.backend.flush();
+    }
+
+    /// Testing hook for the retry path: make the next `n` backend read
+    /// attempts fail with a synthetic transient error (`Interrupted`).
+    /// Faults are consumed per *attempt*, so with the default
+    /// [`RetryCfg`](crate::RetryCfg) a single injected fault is absorbed
+    /// by one retry while `max_attempts` consecutive faults surface as a
+    /// final I/O error.
+    pub fn inject_read_faults(&self, n: u64) {
+        self.inner.faults.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Scheduler hint: how many contiguous partitions to dispatch per batch.
     pub fn dispatch_batch(&self) -> usize {
         self.inner.cfg.dispatch_batch
@@ -245,16 +247,28 @@ impl Safs {
     pub fn ndisks(&self) -> usize {
         self.inner.ndisks()
     }
+
+    /// Number of shards (synonym for [`ndisks`](Safs::ndisks): one shard
+    /// root per emulated device).
+    pub fn nshards(&self) -> usize {
+        self.inner.ndisks()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::RetryCfg;
 
     fn tmp_cfg(tag: &str, ndisks: usize) -> SafsConfig {
         let dir = std::env::temp_dir().join(format!("safs-rt-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
-        SafsConfig::striped_under(dir, ndisks)
+        // Build the disk list explicitly so the CI shard-count override
+        // cannot change what this test exercises.
+        SafsConfig {
+            disks: (0..ndisks).map(|d| dir.join(format!("disk{d}"))).collect(),
+            ..SafsConfig::single_dir(&dir)
+        }
     }
 
     #[test]
@@ -277,14 +291,15 @@ mod tests {
 
     #[test]
     fn rejects_empty_config() {
-        let cfg = SafsConfig {
-            disks: vec![],
-            io_threads_per_disk: 1,
-            dispatch_batch: 1,
-            throttle: None,
-            cache: None,
-        };
-        assert!(Safs::open(cfg).is_err());
+        let cfg = SafsConfig { disks: vec![], ..tmp_cfg("empty", 1) };
+        assert!(matches!(Safs::open(cfg), Err(SafsError::NoShards)));
+    }
+
+    #[test]
+    fn rejects_duplicate_roots() {
+        let mut cfg = tmp_cfg("dup", 2);
+        cfg.disks[1] = cfg.disks[0].clone();
+        assert!(matches!(Safs::open(cfg), Err(SafsError::DuplicateShardRoot(_))));
     }
 
     #[test]
@@ -294,5 +309,76 @@ mod tests {
         f.write_part(0, &[1u8; 128]).unwrap();
         drop(f);
         drop(safs); // must not hang
+    }
+
+    #[test]
+    fn both_backends_roundtrip() {
+        for (tag, kind) in [("bk-sim", BackendKind::Sim), ("bk-dir", BackendKind::Direct)] {
+            let safs = Safs::open(tmp_cfg(tag, 2).with_backend(kind)).unwrap();
+            assert_eq!(safs.backend_kind(), kind);
+            let f = safs.create("m", 256, 3).unwrap();
+            for p in 0..3u64 {
+                f.write_part(p, &[p as u8 + 1; 256]).unwrap();
+            }
+            safs.flush();
+            for p in 0..3u64 {
+                assert_eq!(f.read_part(p).unwrap().as_bytes(), &[p as u8 + 1; 256][..]);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_stats_cover_all_shards() {
+        let safs = Safs::open(tmp_cfg("shstats", 4)).unwrap();
+        let f = safs.create("spread", 512, 16).unwrap();
+        for p in 0..16u64 {
+            f.write_part(p, &[7u8; 512]).unwrap();
+        }
+        for p in 0..16u64 {
+            f.read_part(p).unwrap();
+        }
+        let shards = safs.shard_stats_snapshots();
+        assert_eq!(shards.len(), 4);
+        // Permuted round-robin striping spreads 16 partitions evenly.
+        for (i, s) in shards.iter().enumerate() {
+            assert_eq!(s.read_reqs, 4, "shard {i}");
+            assert_eq!(s.write_reqs, 4, "shard {i}");
+            assert_eq!(s.read_bytes, 4 * 512, "shard {i}");
+            assert_eq!(s.lat.count(), 8, "shard {i}");
+        }
+        let agg = safs.stats_snapshot();
+        assert_eq!(shards.iter().map(|s| s.read_reqs).sum::<u64>(), agg.read_reqs);
+        assert_eq!(shards.iter().map(|s| s.read_bytes).sum::<u64>(), agg.read_bytes);
+    }
+
+    #[test]
+    fn injected_transient_faults_are_retried() {
+        let safs = Safs::open(
+            tmp_cfg("retry-ok", 1).with_retry(RetryCfg { max_attempts: 3, base_backoff_us: 1 }),
+        )
+        .unwrap();
+        let f = safs.create("r", 128, 1).unwrap();
+        f.write_part(0, &[5u8; 128]).unwrap();
+        safs.inject_read_faults(2);
+        let got = f.read_part(0).unwrap();
+        assert_eq!(got.as_bytes(), &[5u8; 128][..]);
+        let snap = safs.stats_snapshot();
+        assert_eq!(snap.io_retries, 2);
+        assert_eq!(safs.shard_stats_snapshots()[0].retries, 2);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_an_io_error() {
+        let safs = Safs::open(
+            tmp_cfg("retry-fail", 1).with_retry(RetryCfg { max_attempts: 2, base_backoff_us: 1 }),
+        )
+        .unwrap();
+        let f = safs.create("r", 128, 1).unwrap();
+        f.write_part(0, &[5u8; 128]).unwrap();
+        safs.inject_read_faults(2);
+        assert!(matches!(f.read_part(0), Err(SafsError::Io { .. })));
+        assert_eq!(safs.stats_snapshot().io_retries, 1, "one retry between two attempts");
+        // The fault budget is spent; the next read succeeds.
+        assert_eq!(f.read_part(0).unwrap().as_bytes(), &[5u8; 128][..]);
     }
 }

@@ -38,6 +38,8 @@ pub struct IoStats {
     write_lat: LatencyHisto,
     /// Nanoseconds I/O threads spent blocked in the bandwidth throttle.
     throttle_wait_nanos: AtomicU64,
+    /// Transient I/O errors the backend workers retried.
+    io_retries: AtomicU64,
     /// Requests submitted but not yet completed (gauge).
     queue_depth: AtomicU64,
     /// High-water mark of `queue_depth` since the runtime started.
@@ -58,6 +60,10 @@ pub struct IoStatsSnapshot {
     /// Nanoseconds I/O threads spent blocked in the bandwidth throttle
     /// (0 when no throttle is configured).
     pub throttle_wait_nanos: u64,
+    /// Transient I/O errors the backend workers retried (each eventual
+    /// success or final failure is one request; this counts the extra
+    /// attempts).
+    pub io_retries: u64,
     /// In-flight requests at snapshot time (gauge, not delta-able).
     pub cur_queue_depth: u64,
     /// Deepest the queues have run since the runtime started (gauge).
@@ -88,6 +94,11 @@ impl IoStats {
         self.throttle_wait_nanos.fetch_add(nanos, Ordering::Relaxed);
     }
 
+    /// A transient I/O error was retried.
+    pub(crate) fn record_retry(&self) {
+        self.io_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A request entered an I/O queue.
     pub(crate) fn queue_enter(&self) {
         let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
@@ -116,6 +127,7 @@ impl IoStats {
             read_lat: self.read_lat.snapshot(),
             write_lat: self.write_lat.snapshot(),
             throttle_wait_nanos: self.throttle_wait_nanos.load(Ordering::Relaxed),
+            io_retries: self.io_retries.load(Ordering::Relaxed),
             cur_queue_depth: self.queue_depth.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             cache: CacheStatsSnapshot::default(),
@@ -142,6 +154,7 @@ impl IoStatsSnapshot {
             read_lat: self.read_lat.delta(&later.read_lat),
             write_lat: self.write_lat.delta(&later.write_lat),
             throttle_wait_nanos: later.throttle_wait_nanos.saturating_sub(self.throttle_wait_nanos),
+            io_retries: later.io_retries.saturating_sub(self.io_retries),
             cur_queue_depth: later.cur_queue_depth,
             max_queue_depth: later.max_queue_depth,
             cache: self.cache.delta(&later.cache),

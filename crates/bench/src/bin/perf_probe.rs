@@ -73,28 +73,43 @@ fn main() {
     let xc = FM::rnorm(&fused_ctx, n_chain, p_chain, 0.0, 1.0, 9).materialize(&fused_ctx);
     let chain = |x: &FM| (&(x * 2.0) + 1.0).abs().sqrt();
 
-    // Warm both engines once before timing: the first pass on a fresh
-    // context absorbs one-time process state (allocator growth, page
-    // faults), and whichever arm ran first ate it — the committed
-    // baseline once showed "fused 2x slower" purely from that ordering
-    // bias. Timing covers materialize only; the single-threaded
-    // `to_vec` copy-out (used below for the bit-identity check) would
-    // otherwise dominate both arms identically and flatten the ratio.
-    let _ = chain(&xc).materialize(&fused_ctx);
-    let _ = chain(&xc).materialize(&unfused_ctx);
-
-    let before = fused_ctx.stats().snapshot();
-    let t = Instant::now();
-    let mf = chain(&xc).materialize(&fused_ctx);
-    let d_fused = t.elapsed();
-    let delta_fused = before.delta(&fused_ctx.stats().snapshot());
+    // Measure steady state, not the first pass: early passes on a fresh
+    // context absorb one-time process state (allocator growth, page
+    // faults, empty partition-buffer pool), and whichever arm ran first
+    // ate it — the committed baseline once showed "fused 2x slower"
+    // purely from that ordering bias. Three warm passes let the
+    // context's buffer recycler fill and the heap settle; the timed
+    // figure is the best of three passes, which is what the engine
+    // delivers once warm. Timing covers materialize only; the
+    // single-threaded `to_vec` copy-out (used below for the
+    // bit-identity check) would otherwise dominate both arms
+    // identically and flatten the ratio. Stats deltas cover exactly one
+    // pass so chunk counts stay comparable across runs.
+    let steady = |ctx: &FlashCtx| {
+        for _ in 0..3 {
+            let _ = chain(&xc).materialize(ctx);
+        }
+        let before = ctx.stats().snapshot();
+        let mut best = None;
+        let mut mat = None;
+        for i in 0..3 {
+            let t = Instant::now();
+            let m = chain(&xc).materialize(ctx);
+            let d = t.elapsed();
+            if i == 0 {
+                best = Some((d, before.delta(&ctx.stats().snapshot())));
+            }
+            if let Some((b, _)) = &mut best {
+                *b = (*b).min(d);
+            }
+            mat = Some(m);
+        }
+        let (d, delta) = best.expect("timed at least one pass");
+        (d, delta, mat.expect("timed at least one pass"))
+    };
+    let (d_fused, delta_fused, mf) = steady(&fused_ctx);
     let vf = mf.to_vec(&fused_ctx);
-
-    let before = unfused_ctx.stats().snapshot();
-    let t = Instant::now();
-    let mu = chain(&xc).materialize(&unfused_ctx);
-    let d_unfused = t.elapsed();
-    let delta_unfused = before.delta(&unfused_ctx.stats().snapshot());
+    let (d_unfused, delta_unfused, mu) = steady(&unfused_ctx);
     let vu = mu.to_vec(&unfused_ctx);
 
     let bit_identical =
@@ -307,6 +322,8 @@ fn main() {
     let optimizer_section =
         format!("{{\"workloads\":{opt_workloads},\"dropped_events\":{opt_dropped}}}");
 
+    let kernel_bw_section = kernel_bw_section();
+
     let report = ctx.profile_report();
     let host_section = host_section_json(
         ctx.cfg().nthreads,
@@ -317,6 +334,7 @@ fn main() {
         ("analysis", analysis.to_json()),
         ("cache", cache_section),
         ("host", host_section),
+        ("kernel_bw", kernel_bw_section),
         ("map_chain", map_chain_section),
         ("optimizer", optimizer_section),
     ];
@@ -348,4 +366,151 @@ fn main() {
         report.passes.len(),
         path.display()
     );
+}
+
+/// Single-core micro-kernel bandwidth at every SIMD dispatch level the
+/// host supports: the fused 4-op map chain, sum/min reductions, dot and
+/// the register-blocked gemm, each timed directly against the kernel
+/// entry points (no executor, no I/O). The section lets `bench_check`
+/// gate "avx2 beats off on every vectorized op" and gives absolute
+/// throughput context for the stage-level numbers above.
+///
+/// Convention: elementwise/reduction rates are *input* GiB/s (matching
+/// the stage table's `bytes / wall`); gemm reports GFLOP/s (`2mnk / t`).
+fn kernel_bw_section() -> String {
+    use flashr::core::chunk::{BufPool, Chunk};
+    use flashr::core::ops::fused_map::{ChainLink, ChainOpSpec, ChainOperand, FusedMapKernel};
+    use flashr::core::ops::simd::fold_col;
+    use flashr::linalg::simd::dot_f64;
+    use flashr::linalg::{gemm_strided_level, SimdLevel};
+    use flashr::safs::IoBuf;
+    use std::hint::black_box;
+
+    // Time one op: warm + calibrate with a single run, then repeat long
+    // enough (~50 ms) that timer noise is under a percent.
+    fn time_op(mut f: impl FnMut()) -> f64 {
+        let t = Instant::now();
+        f();
+        let once = t.elapsed().as_secs_f64().max(1e-9);
+        let reps = (0.05 / once).ceil().max(1.0) as usize;
+        let t = Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        t.elapsed().as_secs_f64() / reps as f64
+    }
+
+    // Deterministic data; an LCG keeps the probe free of rand's state.
+    let rows = 1usize << 16;
+    let cols = 16usize;
+    let n = rows * cols;
+    let mut s = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let a: Vec<f64> = (0..n).map(|_| next()).collect();
+    let b: Vec<f64> = (0..n).map(|_| next()).collect();
+
+    // The probe's 4-op chain (`(x * 2 + 1).abs().sqrt()`) as chain links.
+    let f64f64 = |op: ChainOpSpec| ChainLink { op, in_dtype: DType::F64, out_dtype: DType::F64 };
+    let links = vec![
+        f64f64(ChainOpSpec::Binary {
+            op: BinaryOp::Mul,
+            swapped: false,
+            operand: ChainOperand::Scalar(Scalar::F64(2.0)),
+        }),
+        f64f64(ChainOpSpec::Binary {
+            op: BinaryOp::Add,
+            swapped: false,
+            operand: ChainOperand::Scalar(Scalar::F64(1.0)),
+        }),
+        f64f64(ChainOpSpec::Unary(UnaryOp::Abs)),
+        f64f64(ChainOpSpec::Unary(UnaryOp::Sqrt)),
+    ];
+    let base = Chunk::from_slice::<f64>(rows, cols, &a);
+    let mut dst = IoBuf::zeroed(n * 8);
+    let mut pool = BufPool::new();
+
+    let gm = 256usize; // gemm is cubic: keep it small but register-bound
+    let ga: Vec<f64> = (0..gm * gm).map(|_| next()).collect();
+    let gb: Vec<f64> = (0..gm * gm).map(|_| next()).collect();
+    let mut gc = vec![0.0f64; gm * gm];
+
+    let levels = SimdLevel::available();
+    let gib = (1u64 << 30) as f64;
+    // (op name, unit, per-level (level name, throughput) figures).
+    type OpRow = (&'static str, &'static str, Vec<(&'static str, f64)>);
+    let mut ops: Vec<OpRow> = vec![
+        ("map_chain", "GiB/s", Vec::new()),
+        ("reduce_sum", "GiB/s", Vec::new()),
+        ("reduce_min", "GiB/s", Vec::new()),
+        ("dot", "GiB/s", Vec::new()),
+        ("gemm", "GFLOP/s", Vec::new()),
+    ];
+    for &level in &levels {
+        let kernel = FusedMapKernel::compile_with_level(level, &links);
+        let t = time_op(|| {
+            kernel.run_into(black_box(&base), &[], &mut dst, rows, 0, &mut pool);
+            black_box(dst.as_bytes().first());
+        });
+        ops[0].2.push((level.name(), (n * 8) as f64 / t / gib));
+        let t = time_op(|| {
+            black_box(fold_col::<f64>(level, AggOp::Sum, 0.0, black_box(&a)));
+        });
+        ops[1].2.push((level.name(), (n * 8) as f64 / t / gib));
+        let t = time_op(|| {
+            black_box(fold_col::<f64>(level, AggOp::Min, f64::INFINITY, black_box(&a)));
+        });
+        ops[2].2.push((level.name(), (n * 8) as f64 / t / gib));
+        let t = time_op(|| {
+            black_box(dot_f64(level, black_box(&a), black_box(&b)));
+        });
+        ops[3].2.push((level.name(), (2 * n * 8) as f64 / t / gib));
+        let t = time_op(|| {
+            gemm_strided_level(
+                level,
+                gm,
+                gm,
+                gm,
+                1.0,
+                black_box(&ga),
+                1,
+                gm,
+                black_box(&gb),
+                1,
+                gm,
+                0.0,
+                &mut gc,
+                1,
+                gm,
+            );
+            black_box(gc.first());
+        });
+        ops[4].2.push((level.name(), 2.0 * (gm * gm * gm) as f64 / t / 1e9));
+    }
+
+    let mut json = String::from("{\"levels\":[");
+    for (i, l) in levels.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!("\"{}\"", l.name()));
+    }
+    json.push_str(&format!("],\"active\":\"{}\",\"ops\":[", SimdLevel::active().name()));
+    for (i, (name, unit, vals)) in ops.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!("{{\"name\":\"{name}\",\"unit\":\"{unit}\""));
+        let mut line = format!("kernel {name:<11}");
+        for (lname, v) in vals {
+            json.push_str(&format!(",\"{lname}\":{v:.3}"));
+            line.push_str(&format!("  {lname} {v:7.2}"));
+        }
+        println!("{line} {unit}");
+        json.push('}');
+    }
+    json.push_str("]}");
+    json
 }

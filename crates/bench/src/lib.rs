@@ -259,8 +259,10 @@ pub fn host_section_json(workers: usize, numa_nodes: usize, page_cache_capacity_
     let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0);
     format!(
         "{{\"cpus\":{cpus},\"workers\":{workers},\"numa_nodes\":{numa_nodes},\
-         \"page_cache_capacity_bytes\":{page_cache_capacity_bytes},\"build_profile\":\"{}\"}}",
+         \"page_cache_capacity_bytes\":{page_cache_capacity_bytes},\"build_profile\":\"{}\",\
+         \"simd\":\"{}\"}}",
         if cfg!(debug_assertions) { "debug" } else { "release" },
+        flashr::linalg::SimdLevel::active().name(),
     )
 }
 

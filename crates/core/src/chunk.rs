@@ -230,6 +230,93 @@ impl BufPool {
     }
 }
 
+/// Cross-pass recycler for partition-sized output buffers, shared by all
+/// clones of a context.
+///
+/// Tall outputs used to be `IoBuf::zeroed` per partition per pass — and
+/// since every pass fully overwrites its output, the zeroing (a memset
+/// of the whole output, or the page-fault equivalent on a fresh mmap)
+/// was pure waste that dominated small fused passes. Result matrices
+/// whose buffers came from this pool return them on drop
+/// ([`crate::mat::TasMat`] holds the hook), so steady-state iterative
+/// workloads rewrite the same warm memory instead of paying the
+/// allocator per pass.
+///
+/// Unlike the per-worker [`BufPool`], this pool is `Sync` (workers take
+/// concurrently), keyed by *exact* byte size (partition buffers are
+/// uniform per matrix; no resize-extension semantics to reason about)
+/// and bounded by total pooled bytes rather than per-shelf count.
+pub struct PartBufPool {
+    free: parking_lot::Mutex<HashMap<usize, Vec<IoBuf>>>,
+    pooled_bytes: std::sync::atomic::AtomicUsize,
+}
+
+impl std::fmt::Debug for PartBufPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PartBufPool({} B pooled)", self.pooled_bytes())
+    }
+}
+
+impl Default for PartBufPool {
+    fn default() -> Self {
+        PartBufPool::new()
+    }
+}
+
+impl PartBufPool {
+    /// Idle memory the pool may retain; returns above the cap free
+    /// normally instead of pooling.
+    pub const CAP_BYTES: usize = 128 << 20;
+
+    /// Fresh empty pool.
+    pub fn new() -> Self {
+        PartBufPool {
+            free: parking_lot::Mutex::new(HashMap::new()),
+            pooled_bytes: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Bytes currently idle in the pool.
+    pub fn pooled_bytes(&self) -> usize {
+        self.pooled_bytes.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Take a `bytes`-long buffer whose contents are *unspecified* (stale
+    /// data from a previous pass, or zeros when freshly allocated). The
+    /// caller must overwrite every byte before the buffer is read — tall
+    /// output passes do, by construction: Pcache ranges tile the
+    /// partition and every column is written. Debug builds poison
+    /// recycled buffers so a missed write surfaces as loud garbage, not
+    /// silently-correct zeros.
+    pub fn take_for_overwrite(&self, bytes: usize) -> IoBuf {
+        let hit = self.free.lock().get_mut(&bytes).and_then(Vec::pop);
+        match hit {
+            Some(buf) => {
+                self.pooled_bytes.fetch_sub(bytes, std::sync::atomic::Ordering::Relaxed);
+                #[cfg(debug_assertions)]
+                let buf = {
+                    let mut buf = buf;
+                    buf.as_mut_bytes().fill(0xA5);
+                    buf
+                };
+                buf
+            }
+            None => IoBuf::zeroed(bytes),
+        }
+    }
+
+    /// Return a buffer for reuse; silently frees it instead when the
+    /// pool is at [`Self::CAP_BYTES`] or the buffer is empty.
+    pub fn put(&self, buf: IoBuf) {
+        let len = buf.len();
+        if len == 0 || self.pooled_bytes() + len > Self::CAP_BYTES {
+            return;
+        }
+        self.pooled_bytes.fetch_add(len, std::sync::atomic::Ordering::Relaxed);
+        self.free.lock().entry(len).or_default().push(buf);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

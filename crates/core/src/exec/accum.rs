@@ -8,7 +8,9 @@
 use crate::chunk::Chunk;
 use crate::dag::{Node, NodeKind};
 use crate::element::Element;
+use crate::ops::simd::{fold_col, SimdLevel};
 use crate::ops::AggOp;
+use flashr_linalg::simd::dot_f64;
 use flashr_linalg::Dense;
 
 /// One thread's partial state for one sink node.
@@ -51,6 +53,12 @@ impl SinkAcc {
     /// * `Col`/`Gramian` pass the data chunk(s);
     /// * `GroupBy` additionally passes the labels chunk (i64, one column).
     pub fn update(&mut self, chunks: &[&Chunk]) {
+        self.update_level(SimdLevel::active(), chunks);
+    }
+
+    /// [`SinkAcc::update`] with an explicit SIMD dispatch level — used by
+    /// the kernel-bandwidth probe and cross-level tests.
+    pub fn update_level(&mut self, level: SimdLevel, chunks: &[&Chunk]) {
         match self {
             SinkAcc::Col { op, vals, count, elems } => {
                 let input = chunks[0];
@@ -62,11 +70,7 @@ impl SinkAcc {
                     for c in 0..input.cols() {
                         let col = input.col::<T>(c);
                         let slot = if full { 0 } else { c };
-                        let mut acc = vals[slot];
-                        for v in col {
-                            acc = op.fold(acc, v.to_f64());
-                        }
-                        vals[slot] = acc;
+                        vals[slot] = fold_col::<T>(level, *op, vals[slot], col);
                     }
                 });
             }
@@ -85,10 +89,7 @@ impl SinkAcc {
                     let j0 = if same { i } else { 0 };
                     for j in j0..*k {
                         let cb = b.col::<f64>(j);
-                        let mut dot = 0.0;
-                        for (x, y) in ca.iter().zip(cb) {
-                            dot += x * y;
-                        }
+                        let dot = dot_f64(level, ca, cb);
                         acc[i * *k + j] += dot;
                         if same && j != i {
                             acc[j * *k + i] += dot;

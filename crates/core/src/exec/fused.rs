@@ -242,13 +242,14 @@ pub(crate) fn run_labeled(
                     .into_iter()
                     .map(|p| p.expect("partition never produced"))
                     .collect();
-                TasMat::assemble_in_mem(
+                TasMat::assemble_in_mem_pooled(
                     plan.nrows,
                     t.node.ncols,
                     t.node.dtype,
                     Layout::ColMajor,
                     plan.parter,
                     parts,
+                    Some(ctx.part_buf_pool().clone()),
                 )
             }
             StorageClass::Em => TasMat::from_em_file(
@@ -309,6 +310,7 @@ pub(crate) fn run_labeled(
             workers,
             ops,
             optimizer: Vec::new(),
+            simd: ops::simd::SimdLevel::active().name(),
         });
     }
 
@@ -550,11 +552,21 @@ fn process_part(
     };
     let mut nchunks = 0u64;
 
-    // Output partition buffers for tall targets (column-major).
+    // Output partition buffers for tall targets (column-major). Every
+    // byte is overwritten below (Pcache ranges tile the partition and
+    // chains/write_rows cover every column), so we take recycled buffers
+    // with unspecified contents instead of paying the allocator's zeroing
+    // — on steady-state passes this is the difference between the pass
+    // being compute-bound and memset-bound.
     let mut tall_bufs: Vec<IoBuf> = plan
         .talls
         .iter()
-        .map(|t| IoBuf::zeroed(part_rows * t.node.ncols * t.node.dtype.size()))
+        .map(|t| {
+            shared
+                .ctx
+                .part_buf_pool()
+                .take_for_overwrite(part_rows * t.node.ncols * t.node.dtype.size())
+        })
         .collect();
 
     let mut memo: Memo = HashMap::new();
@@ -603,21 +615,37 @@ fn process_part(
             {
                 if let Some(chain) = plan.chains.get(&t.node.id) {
                     let t0 = env.op_trace.map(|_| Instant::now());
-                    let base = eval(&env, &mut memo, &mut remaining, pool, &chain.base, r0, r1);
                     let auxes: Vec<Rc<Chunk>> = chain
                         .aux
                         .iter()
                         .map(|a| eval(&env, &mut memo, &mut remaining, pool, a, r0, r1))
                         .collect();
                     let aux_refs: Vec<&Chunk> = auxes.iter().map(|c| c.as_ref()).collect();
-                    chain.kernel.run_into(
-                        &base,
-                        &aux_refs,
-                        &mut tall_bufs[ti],
-                        part_rows,
-                        r0,
-                        pool,
-                    );
+                    if let Some((bytes, stride, off)) = chain_base_stride(&env, &chain.base, r0, r1)
+                    {
+                        chain.kernel.run_strided_into(
+                            bytes,
+                            stride,
+                            off,
+                            r1 - r0,
+                            t.node.ncols,
+                            &aux_refs,
+                            &mut tall_bufs[ti],
+                            part_rows,
+                            r0,
+                            pool,
+                        );
+                    } else {
+                        let base = eval(&env, &mut memo, &mut remaining, pool, &chain.base, r0, r1);
+                        chain.kernel.run_into(
+                            &base,
+                            &aux_refs,
+                            &mut tall_bufs[ti],
+                            part_rows,
+                            r0,
+                            pool,
+                        );
+                    }
                     let rows = (r1 - r0) as u64;
                     let root_bytes = rows * (t.node.ncols * t.node.dtype.size()) as u64;
                     let saved = rows * chain.saved_bytes_per_row + root_bytes;
@@ -722,6 +750,24 @@ fn write_rows(buf: &mut IoBuf, dtype: crate::dtype::DType, part_rows: usize, r0:
             dst[c * part_rows + r0..c * part_rows + r0 + rows].copy_from_slice(chunk.col::<T>(c));
         }
     });
+}
+
+/// The strided in-place view of a chain's base over `[r0, r1)` when the
+/// base is a prefetched column-major materialized leaf: `(bytes,
+/// col_stride_rows, row_off)` into the partition buffer. The kernel
+/// then reads the leaf directly and the executor never copies a base
+/// chunk out of it. Row-major leaves and bases outside the prefetch set
+/// return `None` and take the Pcache-chunk path.
+fn chain_base_stride<'a>(
+    env: &PartEnv<'a>,
+    base: &Arc<Node>,
+    r0: usize,
+    r1: usize,
+) -> Option<(&'a [u8], usize, usize)> {
+    let mat = env.plan.leaf_mat(base)?;
+    let (stride, off) = mat.pcache_stride(env.part, r0, r1)?;
+    let buf = env.leaf_bufs.get(&base.id)?;
+    Some((buf.as_bytes(), stride, off))
 }
 
 /// Decrement a node's per-range consumer counter; when it reaches zero,
@@ -838,14 +884,26 @@ fn eval_uncached(
     // the whole fused program in one strip-mined sweep. The chain's
     // interior nodes are never evaluated and never allocate chunks.
     if let Some(chain) = env.plan.chains.get(&node.id) {
-        let base = eval(env, memo, remaining, pool, &chain.base, r0, r1);
         let auxes: Vec<Rc<Chunk>> = chain
             .aux
             .iter()
             .map(|a| eval(env, memo, remaining, pool, a, r0, r1))
             .collect();
         let aux_refs: Vec<&Chunk> = auxes.iter().map(|c| c.as_ref()).collect();
-        let out = Rc::new(chain.kernel.run(&base, &aux_refs, pool));
+        let out = if let Some((bytes, stride, off)) = chain_base_stride(env, &chain.base, r0, r1) {
+            Rc::new(chain.kernel.run_strided(
+                bytes,
+                stride,
+                off,
+                r1 - r0,
+                node.ncols,
+                &aux_refs,
+                pool,
+            ))
+        } else {
+            let base = eval(env, memo, remaining, pool, &chain.base, r0, r1);
+            Rc::new(chain.kernel.run(&base, &aux_refs, pool))
+        };
         env.stats.add(&env.stats.fused_chains, 1);
         env.stats
             .add(&env.stats.fused_saved_bytes, (r1 - r0) as u64 * chain.saved_bytes_per_row);

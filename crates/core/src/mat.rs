@@ -7,7 +7,7 @@
 //! matrices are *views*: transposition never copies (handled a level up,
 //! in the `fm` API).
 
-use crate::chunk::{BufPool, Chunk};
+use crate::chunk::{BufPool, Chunk, PartBufPool};
 use crate::dtype::{DType, Scalar};
 use crate::element::Element;
 use crate::part::Partitioner;
@@ -57,6 +57,29 @@ struct TasInner {
     layout: Layout,
     parter: Partitioner,
     store: Store,
+    /// When set, uniquely-owned in-memory partition buffers return here
+    /// on drop so the next pass's tall outputs reuse warm memory instead
+    /// of paying the allocator (see [`PartBufPool`]).
+    recycle: Option<Arc<PartBufPool>>,
+}
+
+impl Drop for TasInner {
+    fn drop(&mut self) {
+        let Some(pool) = self.recycle.take() else { return };
+        if let Store::InMem(parts) = &mut self.store {
+            let arc = std::mem::replace(parts, Arc::new(Vec::new()));
+            // Both `try_unwrap`s fail whenever anything else still holds
+            // the data (cloned stores, shared chunks, caller-held part
+            // buffers) — recycling never invalidates a live reference.
+            if let Ok(vec) = Arc::try_unwrap(arc) {
+                for p in vec {
+                    if let Ok(buf) = Arc::try_unwrap(p) {
+                        pool.put(buf);
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// A partition read that may still be in flight.
@@ -93,6 +116,21 @@ impl TasMat {
         parter: Partitioner,
         parts: Vec<Arc<IoBuf>>,
     ) -> TasMat {
+        TasMat::assemble_in_mem_pooled(nrows, ncols, dtype, layout, parter, parts, None)
+    }
+
+    /// [`Self::assemble_in_mem`] with a recycle hook: when the matrix
+    /// drops while holding the last reference to its partition buffers,
+    /// they return to `recycle` for the next pass's tall outputs.
+    pub fn assemble_in_mem_pooled(
+        nrows: u64,
+        ncols: usize,
+        dtype: DType,
+        layout: Layout,
+        parter: Partitioner,
+        parts: Vec<Arc<IoBuf>>,
+        recycle: Option<Arc<PartBufPool>>,
+    ) -> TasMat {
         assert_eq!(parts.len() as u64, parter.nparts(nrows), "partition count mismatch");
         for (i, p) in parts.iter().enumerate() {
             let rows = parter.part_rows(i as u64, nrows);
@@ -106,6 +144,7 @@ impl TasMat {
                 layout,
                 parter,
                 store: Store::InMem(Arc::new(parts)),
+                recycle,
             }),
         }
     }
@@ -123,7 +162,15 @@ impl TasMat {
         let expect = nrows * ncols as u64 * dtype.size() as u64;
         assert_eq!(file.total_bytes(), expect, "file size does not match matrix shape");
         TasMat {
-            inner: Arc::new(TasInner { nrows, ncols, dtype, layout, parter, store: Store::Em(file) }),
+            inner: Arc::new(TasInner {
+                nrows,
+                ncols,
+                dtype,
+                layout,
+                parter,
+                store: Store::Em(file),
+                recycle: None,
+            }),
         }
     }
 
@@ -246,6 +293,20 @@ impl TasMat {
     /// Synchronously read partition `part`.
     pub fn read_part(&self, part: u64) -> Arc<IoBuf> {
         self.fetch_part(part).wait()
+    }
+
+    /// Strided in-place view parameters for the Pcache chunk `[r0, r1)`
+    /// of partition `part`: `(col_stride_rows, row_off)` into the raw
+    /// partition buffer. `Some` only for column-major stores — chain
+    /// kernels use this to read the leaf directly (no chunk copy);
+    /// row-major callers fall back to [`Self::pcache_chunk`].
+    pub fn pcache_stride(&self, part: u64, r0: usize, r1: usize) -> Option<(usize, usize)> {
+        if !matches!(self.inner.layout, Layout::ColMajor) {
+            return None;
+        }
+        let part_rows = self.inner.parter.part_rows(part, self.inner.nrows);
+        assert!(r0 <= r1 && r1 <= part_rows, "pcache range out of partition");
+        Some((part_rows, r0))
     }
 
     /// Extract the Pcache chunk `[r0, r1)` (partition-local rows) of

@@ -116,6 +116,13 @@ impl MetricSource for ExecStatsSource {
             vec![],
             s.opt_cache_bytes,
         ));
+        let level = crate::ops::simd::SimdLevel::active();
+        out.push(Sample::gauge(
+            "flashr_simd_level",
+            "Active SIMD dispatch level (0=off, 1=scalar, 2=avx2); the label names it.",
+            vec![("level", level.name().into())],
+            level as u64,
+        ));
     }
 }
 

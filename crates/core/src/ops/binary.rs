@@ -230,6 +230,18 @@ pub(crate) fn pred_col<T: Element, const OP: u8>(
     }
 }
 
+/// AVX2 variant-column twin of [`arith_col`]: same signature, same
+/// results bit-for-bit (the SIMD layer only implements exactly-rounded
+/// ops), but the strip body runs 4/8 elements per instruction.
+pub(crate) fn arith_col_simd<T: Element, const OP: u8>(
+    dst: &mut [T],
+    a: &[T],
+    b: ColSrc<'_, T>,
+    swapped: bool,
+) {
+    crate::ops::simd::arith_simd::<T>(BinaryOp::from_u8(OP), dst, a, b, swapped);
+}
+
 pub(crate) type ArithColFn<T> = fn(&mut [T], &[T], ColSrc<'_, T>, bool);
 pub(crate) type PredColFn<T> = fn(&mut [u8], &[T], ColSrc<'_, T>, bool);
 
@@ -253,6 +265,35 @@ pub(crate) fn arith_col_fn<T: Element>(op: BinaryOp) -> ArithColFn<T> {
         BinaryOp::EuclidSq => arm!(EuclidSq),
         _ => unreachable!("predicate ops use pred_col_fn"),
     }
+}
+
+/// [`arith_col_fn`] with the per-ISA variant column: ops whose AVX2
+/// kernels exist (and are exactly rounded) resolve to them when `level`
+/// allows, everything else falls back to the portable kernel. Resolved
+/// once per chunk/strip — the returned pointer is still a bare fn.
+pub(crate) fn arith_col_fn_level<T: Element>(
+    op: BinaryOp,
+    level: crate::ops::simd::SimdLevel,
+) -> ArithColFn<T> {
+    if level >= crate::ops::simd::SimdLevel::Avx2
+        && crate::ops::simd::SimdLevel::avx2_supported()
+        && crate::ops::simd::arith_simd_available(op, T::DTYPE)
+    {
+        macro_rules! arm {
+            ($v:ident) => {
+                arith_col_simd::<T, { BinaryOp::$v as u8 }>
+            };
+        }
+        return match op {
+            BinaryOp::Add => arm!(Add),
+            BinaryOp::Sub => arm!(Sub),
+            BinaryOp::Mul => arm!(Mul),
+            BinaryOp::Div => arm!(Div),
+            BinaryOp::EuclidSq => arm!(EuclidSq),
+            _ => unreachable!("arith_simd_available admitted {op:?}"),
+        };
+    }
+    arith_col_fn::<T>(op)
 }
 
 /// Predicate twin of [`arith_col_fn`].
@@ -313,8 +354,9 @@ pub fn apply_binary(
     }
 
     let mut out = Chunk::alloc(a.dtype(), rows, cols, pool);
+    let level = crate::ops::simd::SimdLevel::active();
     crate::dispatch!(a.dtype(), T, {
-        let f = arith_col_fn::<T>(op);
+        let f = arith_col_fn_level::<T>(op, level);
         for c in 0..cols {
             let acol = a.col::<T>(c);
             let dst_all = out.slice_mut::<T>();

@@ -10,7 +10,8 @@
 
 use crate::chunk::{BufPool, Chunk};
 use crate::element::Element;
-use crate::ops::binary::BinaryOp;
+use crate::ops::binary::{arith_col_fn_level, BinaryOp, ColSrc};
+use crate::ops::simd::SimdLevel;
 
 fn check_assoc(op: BinaryOp) {
     assert!(
@@ -19,25 +20,53 @@ fn check_assoc(op: BinaryOp) {
     );
 }
 
-#[inline(always)]
-fn eval<T: Element>(op: BinaryOp, a: T, b: T) -> T {
+/// One column of `cum.col`, monomorphized over `(OP, T)` so the serial
+/// prefix loop contains no enum dispatch. Returns the carry (last row).
+fn cum_col_one<T: Element, const OP: u8>(d: &mut [T], s: &[T], carry: Option<T>) -> T {
+    let op = BinaryOp::from_u8(OP);
+    let mut run = carry;
+    for (dv, &sv) in d.iter_mut().zip(s) {
+        let v = match run {
+            Some(acc) => op.eval(acc, sv),
+            None => sv,
+        };
+        *dv = v;
+        run = Some(v);
+    }
+    run.expect("chunk with zero rows")
+}
+
+type CumColFn<T> = fn(&mut [T], &[T], Option<T>) -> T;
+
+/// Resolve the associative op to its prefix kernel once per chunk.
+fn cum_col_fn<T: Element>(op: BinaryOp) -> CumColFn<T> {
+    macro_rules! arm {
+        ($v:ident) => {
+            cum_col_one::<T, { BinaryOp::$v as u8 }>
+        };
+    }
     match op {
-        BinaryOp::Add => a.add(b),
-        BinaryOp::Mul => a.mul(b),
-        BinaryOp::Min => a.minv(b),
-        BinaryOp::Max => a.maxv(b),
-        _ => unreachable!(),
+        BinaryOp::Add => arm!(Add),
+        BinaryOp::Mul => arm!(Mul),
+        BinaryOp::Min => arm!(Min),
+        BinaryOp::Max => arm!(Max),
+        _ => unreachable!("check_assoc admits Add/Mul/Min/Max only"),
     }
 }
 
 /// `cum.row`: `out[r, c] = f(out[r, c-1], in[r, c])`, entirely inside one
-/// chunk.
+/// chunk. Column `c` is an element-wise fold of output column `c-1` with
+/// input column `c` — exactly the binary column kernel, so the resolver
+/// hands us the monomorphized (and, for Add/Mul, AVX2) kernel once
+/// instead of dispatching the op per element.
 pub fn cum_row_chunk(op: BinaryOp, input: &Chunk, pool: &mut BufPool) -> Chunk {
     check_assoc(op);
     let rows = input.rows();
     let cols = input.cols();
     let mut out = Chunk::alloc(input.dtype(), rows, cols, pool);
+    let level = SimdLevel::active();
     crate::dispatch!(input.dtype(), T, {
+        let f = arith_col_fn_level::<T>(op, level);
         let src = input.slice::<T>();
         let dst = out.slice_mut::<T>();
         // Column 0 copies; column c folds with column c-1 of the output.
@@ -47,9 +76,7 @@ pub fn cum_row_chunk(op: BinaryOp, input: &Chunk, pool: &mut BufPool) -> Chunk {
             let prev = &prev[(c - 1) * rows..];
             let cur = &mut cur[..rows];
             let s = &src[c * rows..(c + 1) * rows];
-            for r in 0..rows {
-                cur[r] = eval(op, prev[r], s[r]);
-            }
+            f(cur, prev, ColSrc::Slice(s), false);
         }
     });
     out
@@ -77,21 +104,14 @@ pub fn cum_col_chunk(
     let mut out = Chunk::alloc(input.dtype(), rows, cols, pool);
     let mut new_carry = vec![0.0f64; cols];
     crate::dispatch!(input.dtype(), T, {
+        let f = cum_col_fn::<T>(op);
         let src = input.slice::<T>();
         let dst = out.slice_mut::<T>();
         for c in 0..cols {
             let s = &src[c * rows..(c + 1) * rows];
             let d = &mut dst[c * rows..(c + 1) * rows];
-            let mut run = carry.map(|vals| T::from_f64(vals[c]));
-            for r in 0..rows {
-                let v = match run {
-                    Some(acc) => eval(op, acc, s[r]),
-                    None => s[r],
-                };
-                d[r] = v;
-                run = Some(v);
-            }
-            new_carry[c] = run.expect("chunk with zero rows").to_f64();
+            let run = carry.map(|vals| T::from_f64(vals[c]));
+            new_carry[c] = f(d, s, run).to_f64();
         }
     });
     (out, new_carry)

@@ -11,23 +11,33 @@
 //! [`STRIP_ELEMS`] elements (8 KiB at f64), small enough that the
 //! ping-pong scratch buffers stay in L1 while every op of the chain runs
 //! over it; only the final result is written back, producing **one**
-//! output chunk per chain instead of one per node.
+//! output chunk per chain instead of one per node. Step functions take
+//! raw byte slices, so the first micro-op reads the source chunk in
+//! place and the last writes the destination partition in place — a
+//! chain of `n` steps touches `n + 1` strips of memory, not `n + 3`.
 //!
 //! Dispatch discipline: each link is resolved **once at compile time**
 //! to a monomorphized step function over `(op, dtype)` (const-generic
 //! `OP`, concrete element type via [`crate::dispatch!`]), collected into
-//! a function-pointer row. The strip loop calls through bare `fn`
-//! pointers; inner loops contain zero enum matching. The step bodies
-//! reuse the interpreter's own element kernels
-//! ([`crate::ops::unary::unary_typed`], [`crate::ops::binary::arith_col`]
-//! / [`pred_col`], [`crate::ops::misc::cast_slice`]), so fused results
-//! are bit-identical to the unfused path by construction.
+//! a function-pointer row. The SIMD dispatch level adds a per-ISA
+//! *variant column* to that resolution: links whose `(op, dtype)` has an
+//! exactly-rounded AVX2 kernel ([`crate::ops::simd`]) get the vector
+//! step when the level allows, all others keep the portable step. The
+//! strip loop calls through bare `fn` pointers; inner loops contain zero
+//! enum matching. The portable step bodies reuse the interpreter's own
+//! element kernels ([`crate::ops::unary::unary_typed`],
+//! [`crate::ops::binary::arith_col`] / [`pred_col`],
+//! [`crate::ops::misc::cast_slice`]) and the AVX2 steps are
+//! bit-identical to them by construction (only exactly-rounded
+//! instructions qualify for a vector column), so fused results are
+//! bit-identical to the unfused path at **every** dispatch level.
 
 use crate::chunk::{BufPool, Chunk};
 use crate::dtype::{DType, Scalar};
 use crate::element::Element;
 use crate::ops::binary::{arith_col, pred_col, BinaryOp, ColSrc};
 use crate::ops::misc::cast_slice;
+use crate::ops::simd::{self, SimdLevel};
 use crate::ops::unary::{unary_typed, UnaryOp};
 use flashr_safs::IoBuf;
 use std::sync::Arc;
@@ -79,7 +89,7 @@ enum KonstVal {
     F64(f64),
 }
 
-/// Everything a step function may need besides the scratch strips.
+/// Everything a step function may need besides the strip buffers.
 struct StripCtx<'a> {
     konst: KonstVal,
     swapped: bool,
@@ -90,9 +100,28 @@ struct StripCtx<'a> {
 }
 
 /// A monomorphized micro-op: read `len` elements from `src`, write `len`
-/// to `dst`. Buffers are [`STRIP_ELEMS`]` * 8` bytes, so every element
-/// size divides them evenly.
-type StepFn = fn(&StripCtx<'_>, &IoBuf, &mut IoBuf, usize);
+/// to `dst`. The slices are raw bytes so steps can run directly over the
+/// source chunk and the destination partition; callers guarantee the
+/// slices are element-aligned and big enough (the helpers assert it).
+type StepFn = fn(&StripCtx<'_>, &[u8], &mut [u8], usize);
+
+/// View the leading `len` elements of an element-aligned byte slice.
+/// Sound: strip sources are either 8-aligned scratch buffers or chunk /
+/// partition buffers offset by whole elements (`IoBuf` storage is
+/// `u64`-aligned and every element size divides 8).
+#[inline(always)]
+fn in_slice<T: Element>(bytes: &[u8], len: usize) -> &[T] {
+    debug_assert!(len * size_of::<T>() <= bytes.len());
+    debug_assert_eq!(bytes.as_ptr() as usize % align_of::<T>(), 0);
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const T, len) }
+}
+
+#[inline(always)]
+fn out_slice<T: Element>(bytes: &mut [u8], len: usize) -> &mut [T] {
+    debug_assert!(len * size_of::<T>() <= bytes.len());
+    debug_assert_eq!(bytes.as_ptr() as usize % align_of::<T>(), 0);
+    unsafe { std::slice::from_raw_parts_mut(bytes.as_mut_ptr() as *mut T, len) }
+}
 
 /// Per-kernel constant storage for one step.
 #[derive(Clone)]
@@ -132,54 +161,95 @@ fn operand<'a, T: Element>(ctx: &StripCtx<'a>, len: usize) -> ColSrc<'a, T> {
 
 fn step_unary<T: Element, const OP: u8>(
     _ctx: &StripCtx<'_>,
-    src: &IoBuf,
-    dst: &mut IoBuf,
+    src: &[u8],
+    dst: &mut [u8],
     len: usize,
 ) {
-    unary_typed::<T>(UnaryOp::from_u8(OP), &src.typed::<T>()[..len], &mut dst.typed_mut::<T>()[..len]);
+    unary_typed::<T>(UnaryOp::from_u8(OP), in_slice::<T>(src, len), out_slice::<T>(dst, len));
+}
+
+/// AVX2 variant column of [`step_unary`]; only reachable for `(op, T)`
+/// pairs [`simd::unary_simd_available`] admits.
+fn step_unary_simd<T: Element, const OP: u8>(
+    _ctx: &StripCtx<'_>,
+    src: &[u8],
+    dst: &mut [u8],
+    len: usize,
+) {
+    simd::unary_simd::<T>(UnaryOp::from_u8(OP), in_slice::<T>(src, len), out_slice::<T>(dst, len));
 }
 
 /// `Not` is the one unary op that changes dtype (`T` → U8); mirrors the
 /// special case in [`crate::ops::unary::apply_unary`].
-fn step_not<T: Element>(_ctx: &StripCtx<'_>, src: &IoBuf, dst: &mut IoBuf, len: usize) {
-    let s = &src.typed::<T>()[..len];
-    let d = &mut dst.typed_mut::<u8>()[..len];
+fn step_not<T: Element>(_ctx: &StripCtx<'_>, src: &[u8], dst: &mut [u8], len: usize) {
+    let s = in_slice::<T>(src, len);
+    let d = out_slice::<u8>(dst, len);
     for (d, s) in d.iter_mut().zip(s) {
         *d = u8::from(*s == T::zero());
     }
 }
 
-fn step_cast<S: Element, D: Element>(_ctx: &StripCtx<'_>, src: &IoBuf, dst: &mut IoBuf, len: usize) {
-    cast_slice::<S, D>(&src.typed::<S>()[..len], &mut dst.typed_mut::<D>()[..len]);
+fn step_cast<S: Element, D: Element>(
+    _ctx: &StripCtx<'_>,
+    src: &[u8],
+    dst: &mut [u8],
+    len: usize,
+) {
+    cast_slice::<S, D>(in_slice::<S>(src, len), out_slice::<D>(dst, len));
 }
 
 fn step_arith<T: Element, const OP: u8>(
     ctx: &StripCtx<'_>,
-    src: &IoBuf,
-    dst: &mut IoBuf,
+    src: &[u8],
+    dst: &mut [u8],
     len: usize,
 ) {
     let b = operand::<T>(ctx, len);
-    arith_col::<T, OP>(&mut dst.typed_mut::<T>()[..len], &src.typed::<T>()[..len], b, ctx.swapped);
+    arith_col::<T, OP>(out_slice::<T>(dst, len), in_slice::<T>(src, len), b, ctx.swapped);
+}
+
+/// AVX2 variant column of [`step_arith`]; only reachable for `(op, T)`
+/// pairs [`simd::arith_simd_available`] admits.
+fn step_arith_simd<T: Element, const OP: u8>(
+    ctx: &StripCtx<'_>,
+    src: &[u8],
+    dst: &mut [u8],
+    len: usize,
+) {
+    let b = operand::<T>(ctx, len);
+    simd::arith_simd::<T>(
+        BinaryOp::from_u8(OP),
+        out_slice::<T>(dst, len),
+        in_slice::<T>(src, len),
+        b,
+        ctx.swapped,
+    );
 }
 
 fn step_pred<T: Element, const OP: u8>(
     ctx: &StripCtx<'_>,
-    src: &IoBuf,
-    dst: &mut IoBuf,
+    src: &[u8],
+    dst: &mut [u8],
     len: usize,
 ) {
     let b = operand::<T>(ctx, len);
-    pred_col::<T, OP>(&mut dst.typed_mut::<u8>()[..len], &src.typed::<T>()[..len], b, ctx.swapped);
+    pred_col::<T, OP>(out_slice::<u8>(dst, len), in_slice::<T>(src, len), b, ctx.swapped);
 }
 
 // ---------------------------------------------------- step fn builders
 
-fn unary_step_fn(op: UnaryOp, dtype: DType) -> StepFn {
+fn unary_step_fn(op: UnaryOp, dtype: DType, level: SimdLevel) -> StepFn {
+    let vex = level >= SimdLevel::Avx2
+        && SimdLevel::avx2_supported()
+        && simd::unary_simd_available(op, dtype);
     crate::dispatch!(dtype, T, {
         macro_rules! arm {
             ($v:ident) => {
-                step_unary::<T, { UnaryOp::$v as u8 }>
+                if vex {
+                    step_unary_simd::<T, { UnaryOp::$v as u8 }>
+                } else {
+                    step_unary::<T, { UnaryOp::$v as u8 }>
+                }
             };
         }
         let f: StepFn = match op {
@@ -213,11 +283,18 @@ fn cast_step_fn(from: DType, to: DType) -> StepFn {
     })
 }
 
-fn arith_step_fn(op: BinaryOp, dtype: DType) -> StepFn {
+fn arith_step_fn(op: BinaryOp, dtype: DType, level: SimdLevel) -> StepFn {
+    let vex = level >= SimdLevel::Avx2
+        && SimdLevel::avx2_supported()
+        && simd::arith_simd_available(op, dtype);
     crate::dispatch!(dtype, T, {
         macro_rules! arm {
             ($v:ident) => {
-                step_arith::<T, { BinaryOp::$v as u8 }>
+                if vex {
+                    step_arith_simd::<T, { BinaryOp::$v as u8 }>
+                } else {
+                    step_arith::<T, { BinaryOp::$v as u8 }>
+                }
             };
         }
         let f: StepFn = match op {
@@ -262,8 +339,16 @@ fn pred_step_fn(op: BinaryOp, dtype: DType) -> StepFn {
 
 impl FusedMapKernel {
     /// Compile a chain program (links ordered base → root) into a
-    /// function-pointer row. All `(op, dtype)` resolution happens here.
+    /// function-pointer row at the process-wide SIMD dispatch level.
     pub fn compile(links: &[ChainLink]) -> FusedMapKernel {
+        Self::compile_with_level(SimdLevel::active(), links)
+    }
+
+    /// [`FusedMapKernel::compile`] with an explicit dispatch level — the
+    /// entry point the kernel-bandwidth probe and the cross-level
+    /// property tests use to compare levels within one process. All
+    /// `(op, dtype, ISA)` resolution happens here.
+    pub fn compile_with_level(level: SimdLevel, links: &[ChainLink]) -> FusedMapKernel {
         assert!(!links.is_empty(), "empty chain");
         let mut steps = Vec::with_capacity(links.len());
         for (i, l) in links.iter().enumerate() {
@@ -274,7 +359,7 @@ impl FusedMapKernel {
                 ChainOpSpec::Unary(u) => {
                     debug_assert_eq!(l.out_dtype, u.out_dtype(l.in_dtype));
                     Step {
-                        f: unary_step_fn(*u, l.in_dtype),
+                        f: unary_step_fn(*u, l.in_dtype, level),
                         konst: Konst::None,
                         aux: None,
                         recycle: false,
@@ -296,7 +381,7 @@ impl FusedMapKernel {
                     let f = if op.is_predicate() {
                         pred_step_fn(*op, l.in_dtype)
                     } else {
-                        arith_step_fn(*op, l.in_dtype)
+                        arith_step_fn(*op, l.in_dtype, level)
                     };
                     let (konst, aux, recycle) = match operand {
                         ChainOperand::Scalar(s) => (Konst::Scalar(*s), None, false),
@@ -330,6 +415,11 @@ impl FusedMapKernel {
         self.out_dtype
     }
 
+    /// The dtype the chain's base input must have.
+    pub fn in_dtype(&self) -> DType {
+        self.in_dtype
+    }
+
     /// Run the whole chain over `base`, producing the root's chunk.
     pub fn run(&self, base: &Chunk, auxes: &[&Chunk], pool: &mut BufPool) -> Chunk {
         let (rows, cols) = (base.rows(), base.cols());
@@ -338,10 +428,45 @@ impl FusedMapKernel {
         Chunk::from_iobuf(out, self.out_dtype, rows, cols)
     }
 
+    /// [`Self::run`] reading the base in place from a column-major
+    /// buffer (stride `base_stride` rows, first row `base_off`) — the
+    /// executor hands chain kernels the leaf's partition buffer
+    /// directly, skipping the Pcache chunk copy.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_strided(
+        &self,
+        base_bytes: &[u8],
+        base_stride: usize,
+        base_off: usize,
+        rows: usize,
+        cols: usize,
+        auxes: &[&Chunk],
+        pool: &mut BufPool,
+    ) -> Chunk {
+        let mut out = pool.take(rows * cols * self.out_dtype.size());
+        self.run_strided_into(
+            base_bytes,
+            base_stride,
+            base_off,
+            rows,
+            cols,
+            auxes,
+            &mut out,
+            rows,
+            0,
+            pool,
+        );
+        Chunk::from_iobuf(out, self.out_dtype, rows, cols)
+    }
+
     /// Run the chain writing straight into a column-major destination
     /// buffer with column stride `col_stride` rows, starting at row
     /// `row_off` — lets the executor hand a chain the tall output buffer
     /// as its destination, skipping the root chunk entirely.
+    ///
+    /// The first step reads the base chunk in place and the last step
+    /// writes the destination in place; scratch strips only carry the
+    /// interior of chains with ≥ 2 steps.
     pub fn run_into(
         &self,
         base: &Chunk,
@@ -353,23 +478,46 @@ impl FusedMapKernel {
     ) {
         debug_assert_eq!(base.dtype(), self.in_dtype, "chain base dtype mismatch");
         let (rows, cols) = (base.rows(), base.cols());
+        self.run_strided_into(base.as_bytes(), rows, 0, rows, cols, auxes, dst, col_stride, row_off, pool);
+    }
+
+    /// The fully strided sweep both entry points lower to: read the base
+    /// in place from a column-major source buffer (stride `base_stride`
+    /// rows, first row `base_off`), write the destination in place. With
+    /// both sides strided, an n-step chain over an in-memory leaf moves
+    /// exactly n+1 strips of data and the executor copies nothing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_strided_into(
+        &self,
+        base_bytes: &[u8],
+        base_stride: usize,
+        base_off: usize,
+        rows: usize,
+        cols: usize,
+        auxes: &[&Chunk],
+        dst: &mut IoBuf,
+        col_stride: usize,
+        row_off: usize,
+        pool: &mut BufPool,
+    ) {
+        debug_assert!(base_off + rows <= base_stride || cols == 0);
         debug_assert!(row_off + rows <= col_stride);
         let in_esz = self.in_dtype.size();
         let out_esz = self.out_dtype.size();
+        let nsteps = self.steps.len();
         // Scratch strips are sized in *bytes* for the widest element, so
         // every dtype along the chain views them evenly.
         let mut a = pool.take(STRIP_ELEMS * 8);
         let mut b = pool.take(STRIP_ELEMS * 8);
-        let base_bytes = base.as_bytes();
         let dst_bytes = dst.as_mut_bytes();
         for c in 0..cols {
             let mut s0 = 0usize;
             while s0 < rows {
                 let len = STRIP_ELEMS.min(rows - s0);
-                a.as_mut_bytes()[..len * in_esz].copy_from_slice(
-                    &base_bytes[(c * rows + s0) * in_esz..(c * rows + s0 + len) * in_esz],
-                );
-                for step in &self.steps {
+                let b0 = (c * base_stride + base_off + s0) * in_esz;
+                let src0 = &base_bytes[b0..b0 + len * in_esz];
+                let d0 = (c * col_stride + row_off + s0) * out_esz;
+                for (i, step) in self.steps.iter().enumerate() {
                     let ctx = StripCtx {
                         konst: match &step.konst {
                             Konst::None => KonstVal::None,
@@ -381,11 +529,14 @@ impl FusedMapKernel {
                         aux_col: if step.recycle { 0 } else { c },
                         s0,
                     };
-                    (step.f)(&ctx, &a, &mut b, len);
-                    std::mem::swap(&mut a, &mut b);
+                    let src: &[u8] = if i == 0 { src0 } else { a.as_bytes() };
+                    if i + 1 == nsteps {
+                        (step.f)(&ctx, src, &mut dst_bytes[d0..d0 + len * out_esz], len);
+                    } else {
+                        (step.f)(&ctx, src, b.as_mut_bytes(), len);
+                        std::mem::swap(&mut a, &mut b);
+                    }
                 }
-                let d0 = (c * col_stride + row_off + s0) * out_esz;
-                dst_bytes[d0..d0 + len * out_esz].copy_from_slice(&a.as_bytes()[..len * out_esz]);
                 s0 += len;
             }
         }
@@ -404,12 +555,8 @@ mod tests {
         Chunk::from_slice::<f64>(rows, cols, &vals)
     }
 
-    #[test]
-    fn chain_matches_interpreter_bit_for_bit() {
-        let mut pool = BufPool::new();
-        // sqrt(abs(x * 2.5 + 1.0)), 3000 rows so strips split mid-column.
-        let x = f64_chunk(3000, 3);
-        let links = vec![
+    fn demo_links() -> Vec<ChainLink> {
+        vec![
             ChainLink {
                 op: ChainOpSpec::Binary {
                     op: BinaryOp::Mul,
@@ -438,8 +585,15 @@ mod tests {
                 in_dtype: DType::F64,
                 out_dtype: DType::F64,
             },
-        ];
-        let kernel = FusedMapKernel::compile(&links);
+        ]
+    }
+
+    #[test]
+    fn chain_matches_interpreter_bit_for_bit() {
+        let mut pool = BufPool::new();
+        // sqrt(abs(x * 2.5 + 1.0)), 3000 rows so strips split mid-column.
+        let x = f64_chunk(3000, 3);
+        let kernel = FusedMapKernel::compile(&demo_links());
         let fused = kernel.run(&x, &[], &mut pool);
 
         let s1 =
@@ -453,6 +607,24 @@ mod tests {
         assert_eq!(f.len(), w.len());
         for (a, b) in f.iter().zip(w) {
             assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn chain_bit_identical_across_simd_levels() {
+        // The chain above compiled at every available dispatch level must
+        // agree to the bit: AVX2 element-wise kernels only exist for
+        // exactly-rounded ops.
+        let mut pool = BufPool::new();
+        let x = f64_chunk(3000, 3);
+        let want = FusedMapKernel::compile_with_level(SimdLevel::Off, &demo_links())
+            .run(&x, &[], &mut pool);
+        for level in SimdLevel::available() {
+            let got = FusedMapKernel::compile_with_level(level, &demo_links())
+                .run(&x, &[], &mut pool);
+            for (a, b) in want.slice::<f64>().iter().zip(got.slice::<f64>()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "level={}", level.name());
+            }
         }
     }
 

@@ -11,6 +11,7 @@ pub mod cum;
 pub mod fused_map;
 pub mod matmul;
 pub mod misc;
+pub mod simd;
 pub mod unary;
 
 pub use agg::{agg_row, AggOp};
@@ -18,4 +19,5 @@ pub use binary::{apply_binary, BinOperand, BinaryOp};
 pub use cum::{cum_col_chunk, cum_row_chunk};
 pub use matmul::{inner_prod_chunk, matmul_chunk};
 pub use misc::{bind_cols, cast_chunk, group_cols, select_cols};
+pub use simd::SimdLevel;
 pub use unary::{apply_unary, UnaryOp};

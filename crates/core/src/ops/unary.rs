@@ -113,6 +113,25 @@ impl UnaryOp {
     }
 }
 
+/// [`unary_typed`] with the per-ISA variant column: exactly-rounded ops
+/// take the AVX2 kernel when `level` allows (bit-identical results by
+/// construction), everything else runs the portable loop.
+pub(crate) fn unary_typed_level<T: Element>(
+    level: crate::ops::simd::SimdLevel,
+    op: UnaryOp,
+    src: &[T],
+    dst: &mut [T],
+) {
+    if level >= crate::ops::simd::SimdLevel::Avx2
+        && crate::ops::simd::SimdLevel::avx2_supported()
+        && crate::ops::simd::unary_simd_available(op, T::DTYPE)
+    {
+        crate::ops::simd::unary_simd::<T>(op, src, dst);
+        return;
+    }
+    unary_typed(op, src, dst);
+}
+
 pub(crate) fn unary_typed<T: Element>(op: UnaryOp, src: &[T], dst: &mut [T]) {
     match op {
         // Ops with exact native implementations stay in T.
@@ -157,8 +176,9 @@ pub fn apply_unary(op: UnaryOp, input: &Chunk, pool: &mut BufPool) -> Chunk {
         return out;
     }
     let mut out = Chunk::alloc(input.dtype(), rows, cols, pool);
+    let level = crate::ops::simd::SimdLevel::active();
     crate::dispatch!(input.dtype(), T, {
-        unary_typed::<T>(op, input.slice::<T>(), out.slice_mut::<T>());
+        unary_typed_level::<T>(level, op, input.slice::<T>(), out.slice_mut::<T>());
     });
     out
 }

@@ -301,6 +301,8 @@ struct CtxInner {
     /// `FLASHR_METRICS_ADDR`. Held for its Drop (shuts the thread down
     /// with the last context clone).
     metrics_server: Option<MetricsServer>,
+    /// Cross-pass recycler for tall-output partition buffers.
+    part_bufs: Arc<crate::chunk::PartBufPool>,
 }
 
 impl Drop for CtxInner {
@@ -406,6 +408,7 @@ impl FlashCtx {
                 metrics,
                 flight,
                 metrics_server,
+                part_bufs: Arc::new(crate::chunk::PartBufPool::new()),
             }),
         }
     }
@@ -538,6 +541,12 @@ impl FlashCtx {
     /// The memory governor bounding `set.cache` pinning.
     pub fn governor(&self) -> &MemGovernor {
         &self.inner.governor
+    }
+
+    /// The cross-pass recycler tall outputs draw their partition buffers
+    /// from (result matrices return buffers here on drop).
+    pub fn part_buf_pool(&self) -> &Arc<crate::chunk::PartBufPool> {
+        &self.inner.part_bufs
     }
 
     /// Admission control for a freshly materialized `set.cache` matrix:

@@ -246,6 +246,7 @@ mod tests {
             workers,
             ops: Vec::new(),
             optimizer: Vec::new(),
+            simd: "off",
         }
     }
 

@@ -156,6 +156,9 @@ pub struct PassProfile {
     /// Cost-optimizer decisions applied to this pass (predicted vs.
     /// actual bytes); empty when `cost_optimize` is off.
     pub optimizer: Vec<crate::analysis::optimize::Decision>,
+    /// SIMD dispatch level the pass's kernels were compiled at
+    /// (`"off"`, `"scalar"` or `"avx2"`).
+    pub simd: &'static str,
 }
 
 impl PassProfile {
@@ -509,6 +512,8 @@ fn pass_json(p: &PassProfile, out: &mut String) {
     json_escape(p.engine, out);
     out.push_str(",\"mode\":");
     json_escape(p.mode, out);
+    out.push_str(",\"simd\":");
+    json_escape(p.simd, out);
     field_u64("nodes", p.nodes as u64, false, out);
     field_u64("nodes_pre_cse", p.nodes_pre_cse as u64, false, out);
     field_u64("nparts", p.nparts, false, out);
@@ -636,6 +641,7 @@ mod tests {
             workers: Vec::new(),
             ops: Vec::new(),
             optimizer: Vec::new(),
+            simd: "off",
         };
         for _ in 0..(MAX_PASSES + 10) {
             t.record_pass(p.clone());
@@ -681,6 +687,7 @@ mod tests {
                 saved_bytes: 0,
             }],
             optimizer: Vec::new(),
+            simd: "avx2",
         });
         let report = ProfileReport {
             exec: ExecStatsSnapshot { passes: 1, parts: 2, ..Default::default() },
@@ -693,6 +700,7 @@ mod tests {
         };
         let json = report.to_json();
         assert!(json.contains("\"engine\":\"fused\""));
+        assert!(json.contains("\"simd\":\"avx2\""));
         assert!(json.contains("\"write_stall_nanos\":5"));
         assert!(json.contains("\"dropped_events\":0"));
         assert!(json.contains("\"critical_path\":[]"));

@@ -11,6 +11,7 @@
 //!   buffers in either row- or column-major layout without copies.
 
 use crate::dense::Dense;
+use crate::simd::{self, SimdLevel};
 use rayon::prelude::*;
 
 /// Panel size along the k dimension; 64×8-byte elements keep a k-panel of
@@ -89,6 +90,46 @@ pub fn gemm_strided(
     rsc: usize,
     csc: usize,
 ) {
+    gemm_strided_level(
+        SimdLevel::active(),
+        m,
+        n,
+        k,
+        alpha,
+        a,
+        rsa,
+        csa,
+        b,
+        rsb,
+        csb,
+        beta,
+        c,
+        rsc,
+        csc,
+    );
+}
+
+/// [`gemm_strided`] with an explicit SIMD dispatch level — the entry
+/// point the kernel-bandwidth probe and the cross-level property tests
+/// use to compare levels within one process.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_strided_level(
+    level: SimdLevel,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    rsa: usize,
+    csa: usize,
+    b: &[f64],
+    rsb: usize,
+    csb: usize,
+    beta: f64,
+    c: &mut [f64],
+    rsc: usize,
+    csc: usize,
+) {
     if m == 0 || n == 0 {
         return;
     }
@@ -112,8 +153,33 @@ pub fn gemm_strided(
         return;
     }
 
-    // Fast path: contiguous C rows and contiguous B rows (the common
-    // row-major case) gets a vectorizable inner loop over j.
+    // Big-enough problems with SIMD enabled go through the packed
+    // register-blocked micro-kernel: packing makes the inner loops
+    // stride-oblivious, so the column-major partition buffers the
+    // executor hands us are as fast as row-major ones.
+    if level >= SimdLevel::Scalar && m >= simd::MR && n >= simd::NR {
+        simd::gemm_packed_f64(level, m, n, k, alpha, a, rsa, csa, b, rsb, csb, c, rsc, csc);
+        return;
+    }
+
+    // Tall-and-skinny (n < NR) with column-major A and C: axpy whole A
+    // columns into C columns — contiguous streams, level-aware FMA.
+    if level >= SimdLevel::Scalar && rsa == 1 && rsc == 1 {
+        for j in 0..n {
+            let cj = j * csc;
+            for kk in 0..k {
+                let bv = alpha * b[kk * rsb + j * csb];
+                if bv == 0.0 {
+                    continue;
+                }
+                simd::axpy_f64(level, &mut c[cj..cj + m], &a[kk * csa..kk * csa + m], bv);
+            }
+        }
+        return;
+    }
+
+    // Reference path (and the `FLASHR_SIMD=off` behavior): contiguous C
+    // rows and contiguous B rows get a vectorizable inner loop over j.
     let fast = csc == 1 && csb == 1;
     let mut k0 = 0;
     while k0 < k {

@@ -24,13 +24,15 @@ pub mod dense;
 pub mod eigen;
 pub mod gemm;
 pub mod lu;
+pub mod simd;
 pub mod syrk;
 pub mod tri;
 
 pub use chol::{chol_inverse, chol_logdet, chol_solve, cholesky};
 pub use dense::Dense;
 pub use eigen::{eigen_sym, EigenSym};
-pub use gemm::{gemm, gemm_strided, matmul};
+pub use gemm::{gemm, gemm_strided, gemm_strided_level, matmul};
 pub use lu::{lu_det, lu_factor, lu_solve, LuFactors};
+pub use simd::SimdLevel;
 pub use syrk::syrk;
 pub use tri::{solve_lower, solve_lower_transpose, solve_upper};

@@ -1,6 +1,7 @@
 //! Symmetric rank-k update: the `crossprod` kernel.
 
 use crate::dense::Dense;
+use crate::simd::{axpy_f64, SimdLevel};
 use rayon::prelude::*;
 
 /// `C = A^T A` for a (possibly tall) row-major `A`, exploiting symmetry.
@@ -12,6 +13,7 @@ pub fn syrk(a: &Dense) -> Dense {
     let n = a.cols();
     let m = a.rows();
     // Accumulate per row-panel in parallel, then reduce.
+    let level = SimdLevel::active();
     let panel = 512usize;
     let partials: Vec<Vec<f64>> = (0..m.div_ceil(panel))
         .into_par_iter()
@@ -27,10 +29,8 @@ pub fn syrk(a: &Dense) -> Dense {
                         continue;
                     }
                     let dst = &mut acc[i * n..(i + 1) * n];
-                    // Upper triangle only.
-                    for j in i..n {
-                        dst[j] += v * row[j];
-                    }
+                    // Upper triangle only: dst[i..n] += v * row[i..n].
+                    axpy_f64(level, &mut dst[i..], &row[i..], v);
                 }
             }
             acc

@@ -223,4 +223,15 @@ fn main() {
     }
 
     report.save_json("ablate");
+
+    // Same host stamp perf_probe and shard_sweep embed in their
+    // artifacts (one helper, no drift), so ablation rows can be matched
+    // to the host/backend/simd they ran on. The in-memory context is the
+    // honest default here: most sweeps above run without SAFS.
+    let host = host_section_json(&FlashCtx::in_memory());
+    println!("\nhost: {host}");
+    let _ = std::fs::create_dir_all("target/flashr-results");
+    if let Err(e) = std::fs::write("target/flashr-results/ablate-host.json", &host) {
+        eprintln!("warning: could not write ablate-host.json: {e}");
+    }
 }

@@ -28,6 +28,22 @@ fn main() {
     // pass-profile summary is the point of the probe. `--trace-out` or
     // `FLASHR_TRACE_OUT` raise it to timeline spans.
     let level = bench_trace_level();
+    // Self-provision the profile history store when the caller didn't:
+    // the calibration A/B below needs the records this run writes, and a
+    // stable (non-pid) path lets consecutive probe runs accumulate the
+    // history that `flashr-prof report`/`diff` and the calibrated arm
+    // feed on.
+    if std::env::var_os("FLASHR_PROFILE_DIR").is_none_or(|v| v.is_empty()) {
+        std::env::set_var("FLASHR_PROFILE_DIR", std::env::temp_dir().join("flashr-profile"));
+    }
+    let store_dir = flashr::core::obs::store_dir().expect("profile store dir just set");
+    println!(
+        "profile store:       {} (run {})",
+        store_dir.display(),
+        flashr::core::obs::run_id()
+    );
+    let set_label = |l: &str| std::env::set_var("FLASHR_PROFILE_LABEL", l);
+    set_label("perf_probe_main");
     // One-step construction (not `in_memory().with_trace(..)`): builder
     // methods make a throwaway context, and the first context to exist
     // claims `FLASHR_METRICS_ADDR` — the scrape listener must live on
@@ -221,6 +237,7 @@ fn main() {
             .into_iter()
             .enumerate()
     {
+        set_label(name);
         let mut per_mode = [String::new(), String::new()];
         let mut reads = [0u64; 2];
         let mut pass1_bits: [Vec<u64>; 2] = [Vec::new(), Vec::new()];
@@ -322,17 +339,88 @@ fn main() {
     let optimizer_section =
         format!("{{\"workloads\":{opt_workloads},\"dropped_events\":{opt_dropped}}}");
 
+    // Calibration A/B probe: the same two workload shapes as the
+    // optimizer A/B, but as repeated scans under a page cache sized to
+    // hold the whole input — the regime where the cost model's
+    // cold-cache bound is systematically wrong (it predicts a full
+    // device read for every scan; only the first one is). The first arm
+    // (`calibrate` off) seeds the profile store with those raw
+    // mispredictions; the second arm fits a per-fingerprint read factor
+    // from that history at context build and must predict device reads
+    // strictly better. Outputs stay bit-identical because calibration
+    // only reprices the estimate, never changes the plan.
+    let mut calib_workloads = String::from("[");
+    for (wi, (name, n_w, p_w, seed)) in
+        [("reuse_rescan", 200_000u64, 16usize, 21u64), ("norm_rescan", 240_000, 8, 22)]
+            .into_iter()
+            .enumerate()
+    {
+        set_label(&format!("calib_{name}"));
+        let mut errs = [0u64; 2];
+        let mut preds = [0u64; 2];
+        let mut fitted = [false; 2];
+        let mut scan_bits: [Vec<u64>; 2] = [Vec::new(), Vec::new()];
+        for (mi, calibrate) in [false, true].into_iter().enumerate() {
+            let input_bytes = n_w * p_w as u64 * 8;
+            let tag = format!("perf-probe-calib-{name}-{}", if calibrate { "on" } else { "off" });
+            let opt_cfg = SafsConfig::striped_under(scratch_dir(&tag), 4)
+                .with_cache(CacheCfg::with_capacity(2 * input_bytes));
+            let octx = FlashCtx::with_config(
+                CtxConfig {
+                    storage: StorageClass::Em,
+                    trace: level,
+                    cost_optimize: true,
+                    calibrate,
+                    ..Default::default()
+                },
+                Some(Safs::open(opt_cfg).expect("SAFS open failed")),
+            );
+            let xw = FM::rnorm(&octx, n_w, p_w, 0.0, 1.0, seed).materialize(&octx);
+            let y = if wi == 0 { &(&xw * 2.0) + 1.0 } else { (&xw + 3.0).abs().sqrt() };
+            for _ in 0..3 {
+                scan_bits[mi].push(y.sum().value(&octx).to_bits());
+            }
+            errs[mi] = octx.calib_state().mean_error_bytes();
+            preds[mi] = octx.calib_state().predictions();
+            fitted[mi] = octx.calibration().is_some();
+        }
+        let pass1_bits = scan_bits;
+        let outputs_match = pass1_bits[0] == pass1_bits[1];
+        assert!(outputs_match, "{name}: calibrate changed reduction results");
+        assert!(fitted[1], "{name}: calibrated context found no usable history");
+        println!(
+            "calibration {name:<11} mean |pred-actual| {:>12} B (off) vs {:>12} B (on)",
+            errs[0], errs[1]
+        );
+        if wi > 0 {
+            calib_workloads.push(',');
+        }
+        calib_workloads.push_str(&format!(
+            "{{\"name\":\"{name}\",\
+             \"off\":{{\"mean_error_bytes\":{},\"predictions\":{},\"fitted\":{}}},\
+             \"on\":{{\"mean_error_bytes\":{},\"predictions\":{},\"fitted\":{}}},\
+             \"outputs_match\":{outputs_match}}}",
+            errs[0], preds[0], fitted[0], errs[1], preds[1], fitted[1]
+        ));
+    }
+    calib_workloads.push(']');
+    set_label("perf_probe_main");
+    let calibration_section = format!(
+        "{{\"workloads\":{calib_workloads},\"store_dir\":{:?},\"run_id\":\"{}\",\
+         \"dropped_records\":{}}}",
+        store_dir.display().to_string(),
+        flashr::core::obs::run_id(),
+        flashr::core::obs::dropped_records()
+    );
+
     let kernel_bw_section = kernel_bw_section();
 
     let report = ctx.profile_report();
-    let host_section = host_section_json(
-        ctx.cfg().nthreads,
-        ctx.cfg().numa_nodes,
-        em_ctx.safs().map(|s| s.page_cache_capacity()).unwrap_or(0),
-    );
+    let host_section = host_section_json(&em_ctx);
     let sections = [
         ("analysis", analysis.to_json()),
         ("cache", cache_section),
+        ("calibration", calibration_section),
         ("host", host_section),
         ("kernel_bw", kernel_bw_section),
         ("map_chain", map_chain_section),

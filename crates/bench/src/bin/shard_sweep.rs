@@ -219,7 +219,7 @@ fn main() {
     print_critical_path("shard_sweep", &last.profile_report());
     let sections = [
         ("sweep", sweep_section(&cells)),
-        ("host", host_section_json(last.cfg().nthreads, 1, 0)),
+        ("host", host_section_json(last)),
     ];
     save_bench_artifact(
         "shard_sweep",

@@ -254,16 +254,14 @@ pub fn bench_artifact_json_sections(
 
 /// The `"host"` section for bench artifacts: the machine and build facts
 /// needed to interpret absolute throughput numbers (and printed by
-/// `scripts/bench_check` when a gate fails).
-pub fn host_section_json(workers: usize, numa_nodes: usize, page_cache_capacity_bytes: u64) -> String {
-    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0);
-    format!(
-        "{{\"cpus\":{cpus},\"workers\":{workers},\"numa_nodes\":{numa_nodes},\
-         \"page_cache_capacity_bytes\":{page_cache_capacity_bytes},\"build_profile\":\"{}\",\
-         \"simd\":\"{}\"}}",
-        if cfg!(debug_assertions) { "debug" } else { "release" },
-        flashr::linalg::SimdLevel::active().name(),
-    )
+/// `scripts/bench_check` when a gate fails). Delegates to the core's
+/// [`obs::host_json`](flashr::core::obs::host_json) — the same stamp the
+/// profile history store writes — so `BENCH_*.json`, `perf_probe`,
+/// `ablate` and `shard_sweep` can never drift from what the calibration
+/// loop matches records by (cpus, workers, NUMA nodes, page-cache
+/// capacity, build profile, SIMD level, storage backend, shard count).
+pub fn host_section_json(ctx: &FlashCtx) -> String {
+    flashr::core::obs::host_json(ctx)
 }
 
 /// Fetch this process's own `/metrics` endpoint — live only when the

@@ -37,10 +37,18 @@ use crate::trace::json_escape;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use super::chains;
+use super::{calibrate, chains};
 
 pub(crate) fn mat_bytes(node: &Node) -> u64 {
     node.nrows * node.ncols as u64 * node.dtype.size() as u64
+}
+
+/// Nanos to move `bytes` at `gib_s` GiB/s (0 for a degenerate rate).
+fn price_nanos(bytes: u64, gib_s: f64) -> u64 {
+    if gib_s <= 0.0 {
+        return 0;
+    }
+    (bytes as f64 / (gib_s * (1u64 << 30) as f64) * 1e9) as u64
 }
 
 /// A reused-but-uncached subtree the optimizer may decide to cache
@@ -102,6 +110,25 @@ pub struct CostEstimate {
     /// the chunk step, so step overrides are only bit-safe without one).
     pub has_sink: bool,
     pub reuse: Vec<ReuseCandidate>,
+    /// The model's cold-cache device-read upper bound, before the
+    /// calibration loop's absorption factor. Equal to
+    /// `device_read_bytes` when calibration is off or unmatched.
+    pub device_read_bytes_raw: u64,
+    /// Whether fitted history constants re-priced this estimate
+    /// ([`crate::session::CtxConfig::calibrate`] with matching records).
+    pub calibrated: bool,
+    /// Predicted device-read nanos under the (calibrated or default)
+    /// read rate.
+    pub predicted_read_nanos: u64,
+    /// Predicted device-write nanos.
+    pub predicted_write_nanos: u64,
+    /// Predicted compute nanos for the plan's op class over the chunk
+    /// and generator bytes.
+    pub predicted_compute_nanos: u64,
+    /// Predicted wall nanos: `max(io, compute)` — the fused engine
+    /// overlaps I/O behind compute (paper Fig. 10), so the slower side
+    /// bounds the pass.
+    pub predicted_wall_nanos: u64,
 }
 
 /// Price `targets` (already canonicalized by the CSE rewrite) under the
@@ -275,6 +302,33 @@ pub fn estimate(ctx: &FlashCtx, targets: &[Target]) -> CostEstimate {
         ExecMode::MemFuse | ExecMode::Eager => part_rows,
     };
 
+    // Calibration re-pricing: scale the cold-cache read bound by the
+    // fitted absorption factor and price predicted nanos under fitted
+    // (or default) throughput rates. None of this feeds a plan action,
+    // so outputs stay bit-identical with the knob on or off.
+    let device_read_bytes_raw = device_read_bytes;
+    let mut calibrated = false;
+    if let Some(cal) = ctx.calibration() {
+        if let Some(f) = cal.read_factor_for(crate::obs::plan_fingerprint(targets)) {
+            device_read_bytes = (device_read_bytes as f64 * f).round() as u64;
+            calibrated = true;
+        }
+    }
+    let class = crate::obs::op_class(targets);
+    let (read_rate, write_rate, compute_rate) = match ctx.calibration() {
+        Some(cal) => (cal.read_gib_s(), cal.write_gib_s(), cal.compute_gib_s_for(class)),
+        None => (
+            calibrate::DEFAULT_READ_GIB_S,
+            calibrate::DEFAULT_WRITE_GIB_S,
+            calibrate::DEFAULT_COMPUTE_GIB_S,
+        ),
+    };
+    let predicted_read_nanos = price_nanos(device_read_bytes, read_rate);
+    let predicted_write_nanos = price_nanos(write_bytes, write_rate);
+    let predicted_compute_nanos = price_nanos(chunk_bytes + gen_bytes, compute_rate);
+    let predicted_wall_nanos =
+        (predicted_read_nanos + predicted_write_nanos).max(predicted_compute_nanos);
+
     CostEstimate {
         mode,
         pcache_step,
@@ -291,6 +345,12 @@ pub fn estimate(ctx: &FlashCtx, targets: &[Target]) -> CostEstimate {
         em_leaves,
         has_sink,
         reuse,
+        device_read_bytes_raw,
+        calibrated,
+        predicted_read_nanos,
+        predicted_write_nanos,
+        predicted_compute_nanos,
+        predicted_wall_nanos,
     }
 }
 
@@ -329,18 +389,23 @@ impl CostEstimate {
             },
             &mut o,
         );
-        let fields: [(&str, u64); 11] = [
+        let fields: [(&str, u64); 16] = [
             ("pcache_step", self.pcache_step as u64),
             ("pcache_step_live", self.pcache_step_live as u64),
             ("row_bytes_total", self.row_bytes_total as u64),
             ("row_bytes_live", self.row_bytes_live as u64),
             ("chunk_bytes", self.chunk_bytes),
             ("device_read_bytes", self.device_read_bytes),
+            ("device_read_bytes_raw", self.device_read_bytes_raw),
             ("leaf_read_bytes", self.leaf_read_bytes),
             ("gen_bytes", self.gen_bytes),
             ("write_bytes", self.write_bytes),
             ("cache_capacity", self.cache_capacity),
             ("em_leaves", self.em_leaves as u64),
+            ("predicted_read_nanos", self.predicted_read_nanos),
+            ("predicted_write_nanos", self.predicted_write_nanos),
+            ("predicted_compute_nanos", self.predicted_compute_nanos),
+            ("predicted_wall_nanos", self.predicted_wall_nanos),
         ];
         for (k, v) in fields {
             o.push_str(",\"");
@@ -348,6 +413,8 @@ impl CostEstimate {
             o.push_str("\":");
             o.push_str(&v.to_string());
         }
+        o.push_str(",\"calibrated\":");
+        o.push_str(if self.calibrated { "true" } else { "false" });
         o.push_str(",\"has_sink\":");
         o.push_str(if self.has_sink { "true" } else { "false" });
         o.push_str(",\"reuse\":[");

@@ -28,6 +28,7 @@
 //! [`crate::session::CtxConfig::optimize`] for A/B ablation), and
 //! [`crate::fm::FM::check`] exposes it without executing anything.
 
+pub mod calibrate;
 pub mod chains;
 pub mod cost;
 pub mod cse;

@@ -95,14 +95,19 @@ pub fn materialize(ctx: &FlashCtx, targets: &[Target]) -> Vec<TargetResult> {
 
     // Cost-based plan optimizer: price the plan, act on the lints, and
     // record every decision so the pass profile can show predicted vs.
-    // actual byte movement.
+    // actual byte movement. The profile store consumes the same pre-run
+    // estimate, so it is priced whenever either consumer is active.
+    let cost_optimize = ctx.cfg().cost_optimize;
+    let track = cost_optimize || crate::obs::enabled();
     let mut opts = PlanOpts::default();
     let mut decisions: Vec<crate::analysis::optimize::Decision> = Vec::new();
     let mut readahead: Option<u64> = None;
     let mut order: Option<Vec<usize>> = None;
-    if ctx.cfg().cost_optimize {
-        let cost = crate::analysis::cost::estimate(ctx, run_targets);
-        let outcome = crate::analysis::optimize::plan(ctx, run_targets, &cost);
+    let cost =
+        if track { Some(crate::analysis::cost::estimate(ctx, run_targets)) } else { None };
+    if cost_optimize {
+        let cost = cost.as_ref().expect("cost_optimize implies a priced plan");
+        let outcome = crate::analysis::optimize::plan(ctx, run_targets, cost);
         // A lint the optimizer already fixed (auto-cached W001/W004 node)
         // is exempt from FLASHR_DENY_LINTS promotion.
         if let Err(e) = crate::analysis::deny_gate(&analysis.report.lints, &outcome.auto_cache) {
@@ -127,14 +132,15 @@ pub fn materialize(ctx: &FlashCtx, targets: &[Target]) -> Vec<TargetResult> {
 
     let stats_before = ctx.stats().snapshot();
     let io_before = ctx.safs().map(|s| s.stats_snapshot());
-    // Pass count before the run, so the calibration hint below only
-    // looks at the passes this materialization recorded.
-    let tracer_passes_before = if ctx.cfg().cost_optimize { ctx.tracer().passes().len() } else { 0 };
+    // Pass count before the run, so the wall-clock attribution below
+    // only looks at the passes this materialization recorded.
+    let tracer_passes_before = if track { ctx.tracer().passes().len() } else { 0 };
     if readahead.is_some() {
         if let Some(s) = ctx.safs() {
             s.set_readahead_override(readahead);
         }
     }
+    let run_start = std::time::Instant::now();
     let results = match ctx.cfg().mode {
         ExecMode::Eager => match &order {
             Some(ord) => {
@@ -157,18 +163,52 @@ pub fn materialize(ctx: &FlashCtx, targets: &[Target]) -> Vec<TargetResult> {
             fused::run(ctx, run_targets, &HashMap::new(), nodes_pre, &opts)
         }
     };
+    let wall_nanos = run_start.elapsed().as_nanos() as u64;
     if readahead.is_some() {
         if let Some(s) = ctx.safs() {
             s.set_readahead_override(None);
         }
     }
 
-    if ctx.cfg().cost_optimize {
-        decisions.push(calibration_hint(ctx, tracer_passes_before, &stats_before));
+    if track {
+        let cost = cost.as_ref().expect("track implies a priced plan");
+        let exec_delta = stats_before.delta(&ctx.stats().snapshot());
+        let io_delta = match (io_before.as_ref(), ctx.safs().map(|s| s.stats_snapshot())) {
+            (Some(before), Some(after)) => Some(before.delta(&after)),
+            _ => None,
+        };
+        let io_read_delta = io_delta.as_ref().map(|d| d.read_bytes).unwrap_or(0);
+        let passes = ctx.tracer().passes();
+        let new_passes = &passes[tracer_passes_before.min(passes.len())..];
+        let lanes = ctx.tracer().timeline().map(|t| t.snapshot()).unwrap_or_default();
+        let verdict = crate::trace::CriticalPath::attribute(
+            new_passes,
+            &lanes,
+            (exec_delta.compute_nanos, exec_delta.io_wait_nanos, exec_delta.write_stall_nanos),
+        );
+        if cost_optimize {
+            decisions.push(calibration_decision(&verdict, cost, io_read_delta));
+        }
+        // Score the device-read prediction against what the SAFS
+        // counters measured — the number the calibration A/B gate and
+        // the `flashr_calib_prediction_error_bytes` gauge report.
+        ctx.calib_state().record_prediction(cost.device_read_bytes, io_read_delta);
+        fill_decision_actuals(run_targets, &mut decisions, &exec_delta, io_read_delta);
+        crate::obs::record(
+            ctx,
+            &crate::obs::Record {
+                targets: run_targets,
+                cost,
+                decisions: &decisions,
+                verdict: &verdict,
+                exec_delta: &exec_delta,
+                io_delta: io_delta.as_ref(),
+                wall_nanos,
+            },
+        );
     }
 
     if !decisions.is_empty() {
-        fill_decision_actuals(ctx, run_targets, &mut decisions, &stats_before, io_before.as_ref());
         let stats = ctx.stats();
         // The calibration hint is log-only: it rides in the decision list
         // for pass profiles but is not an *actionable* optimizer decision,
@@ -200,86 +240,58 @@ pub fn materialize(ctx: &FlashCtx, targets: &[Target]) -> Vec<TargetResult> {
     results
 }
 
-/// Log-only calibration hint (recorded as a [`DecisionKind::Calibration`]
-/// decision): where the wall clock of this materialization actually went,
-/// read against the byte-based cost model's predictions.
-///
-/// Preferred source is the critical-path analyzer over the passes this
-/// run recorded (available at `FLASHR_TRACE=pass` and up); when tracing
-/// is below that, the always-on `ExecStats` worker-time counters supply
-/// the same compute/io-wait/write-stall split without idle attribution.
-/// Changes no plan — the verdict only lands in pass profiles and bench
-/// artifacts so mispriced plans are visible.
+/// The calibration decision (recorded as a
+/// [`DecisionKind::Calibration`]): where the wall clock of this
+/// materialization actually went, read against the byte-based cost
+/// model's predictions. With [`crate::session::CtxConfig::calibrate`]
+/// the prediction is the history-fitted one and the residual it records
+/// is the calibration loop's score; without, it documents the raw
+/// cold-cache bound. Either way it changes no plan — the verdict lands
+/// in pass profiles, bench artifacts and the profile store so mispriced
+/// plans are visible.
 ///
 /// [`DecisionKind::Calibration`]: crate::analysis::optimize::DecisionKind::Calibration
-fn calibration_hint(
-    ctx: &FlashCtx,
-    passes_before: usize,
-    stats_before: &crate::stats::ExecStatsSnapshot,
+fn calibration_decision(
+    verdict: &crate::trace::WallAttribution,
+    cost: &crate::analysis::cost::CostEstimate,
+    io_read_delta: u64,
 ) -> crate::analysis::optimize::Decision {
-    use crate::trace::CriticalPath;
-
-    let passes = ctx.tracer().passes();
-    let new_passes = &passes[passes_before.min(passes.len())..];
-    let lanes = ctx.tracer().timeline().map(|t| t.snapshot()).unwrap_or_default();
-    let rows = CriticalPath::analyze(new_passes, &lanes);
     let ms = |nanos: u64| nanos / 1_000_000;
-    let (source, compute, io_wait, write_stall, idle) = if rows.is_empty() {
-        let d = stats_before.delta(&ctx.stats().snapshot());
-        ("exec-counters", d.compute_nanos, d.io_wait_nanos, d.write_stall_nanos, 0)
-    } else {
-        (
-            "critical-path",
-            rows.iter().map(|b| b.compute_nanos).sum(),
-            rows.iter().map(|b| b.io_wait_nanos).sum(),
-            rows.iter().map(|b| b.write_stall_nanos).sum(),
-            rows.iter().map(|b| b.idle_nanos).sum(),
-        )
-    };
-    let verdict = [
-        ("compute", compute),
-        ("io-wait", io_wait),
-        ("write-stall", write_stall),
-        ("idle", idle),
-    ]
-    .into_iter()
-    .max_by_key(|&(_, v)| v)
-    .map(|(name, _)| name)
-    .unwrap_or("compute");
     crate::analysis::optimize::Decision {
         kind: crate::analysis::optimize::DecisionKind::Calibration,
         node: 0,
         detail: format!(
-            "{source} verdict {verdict}: compute {}ms, io-wait {}ms, write-stall {}ms, \
-             idle {}ms over {} pass(es)",
-            ms(compute),
-            ms(io_wait),
-            ms(write_stall),
-            ms(idle),
-            new_passes.len(),
+            "{} verdict {}: compute {}ms, io-wait {}ms, write-stall {}ms, idle {}ms over \
+             {} pass(es); device-read predicted {} actual {} (residual {}{})",
+            verdict.source,
+            verdict.bound,
+            ms(verdict.compute_nanos),
+            ms(verdict.io_wait_nanos),
+            ms(verdict.write_stall_nanos),
+            ms(verdict.idle_nanos),
+            verdict.passes,
+            cost.device_read_bytes,
+            io_read_delta,
+            cost.device_read_bytes.abs_diff(io_read_delta),
+            if cost.calibrated { ", calibrated" } else { "" },
         ),
-        predicted_bytes: 0,
+        predicted_bytes: cost.device_read_bytes,
         actual_bytes: None,
     }
 }
 
 /// Post-run bookkeeping for optimizer decisions: scrape what actually
 /// happened (bytes cached, chunk bytes produced, device bytes read) from
-/// the engine and I/O counters and stamp it into each decision record.
+/// the engine and I/O counter deltas and stamp it into each decision
+/// record.
 fn fill_decision_actuals(
-    ctx: &FlashCtx,
     targets: &[Target],
     decisions: &mut [crate::analysis::optimize::Decision],
-    stats_before: &crate::stats::ExecStatsSnapshot,
-    io_before: Option<&flashr_safs::IoStatsSnapshot>,
+    exec_delta: &crate::stats::ExecStatsSnapshot,
+    io_read_delta: u64,
 ) {
     use crate::analysis::optimize::DecisionKind;
 
-    let exec_delta = stats_before.delta(&ctx.stats().snapshot());
-    let io_read_delta = match (io_before, ctx.safs().map(|s| s.stats_snapshot())) {
-        (Some(before), Some(after)) => before.delta(&after).read_bytes,
-        _ => 0,
-    };
     let nodes = reachable_by_id(targets);
     for d in decisions.iter_mut() {
         d.actual_bytes = Some(match d.kind {
@@ -292,9 +304,11 @@ fn fill_decision_actuals(
                 .map(|n| crate::analysis::cost::mat_bytes(n))
                 .unwrap_or(0),
             DecisionKind::PcacheStep => exec_delta.node_chunk_bytes,
-            DecisionKind::Readahead | DecisionKind::PassOrder => io_read_delta,
-            // Log-only: the hint moves no bytes by construction.
-            DecisionKind::Calibration => 0,
+            // The graduated calibration decision scores its prediction
+            // against the same measured device reads.
+            DecisionKind::Readahead | DecisionKind::PassOrder | DecisionKind::Calibration => {
+                io_read_delta
+            }
         });
     }
 }

@@ -793,7 +793,7 @@ impl FM {
     /// The exec target this matrix's pending computation would run as.
     /// `None` for already-materialized data (small dense results, leaves,
     /// cached nodes) — there is nothing to plan.
-    fn pending_target(&self) -> Option<Target> {
+    pub(crate) fn pending_target(&self) -> Option<Target> {
         match self {
             FM::Small(_) => None,
             FM::Sink { node } => Some(Target::Sink(node.clone())),

@@ -43,6 +43,7 @@ pub mod gen;
 pub mod io;
 pub mod mat;
 pub mod metrics;
+pub mod obs;
 pub mod ops;
 pub mod part;
 pub mod session;

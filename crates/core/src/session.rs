@@ -1,10 +1,11 @@
 //! The FlashR execution context: threads, engine mode, partitioning,
 //! simulated NUMA topology and the optional SSD array.
 
+use crate::analysis::calibrate::{self, CalibState, Calibration};
 use crate::mat::TasMat;
 use crate::metrics::flight::{self, TeeSink};
 use crate::metrics::serve::claim_metrics_addr;
-use crate::metrics::sources::{ExecStatsSource, GovernorSource, SafsSource};
+use crate::metrics::sources::{CalibrationSource, ExecStatsSource, GovernorSource, SafsSource};
 use crate::metrics::{FlightRecorder, MetricsHub, MetricsServer};
 use crate::part::Partitioner;
 use crate::stats::ExecStats;
@@ -80,6 +81,16 @@ pub struct CtxConfig {
     /// alongside [`optimize`](CtxConfig::optimize) and
     /// [`fuse_chains`](CtxConfig::fuse_chains).
     pub cost_optimize: bool,
+    /// Whether the cost model's constants are calibrated from the
+    /// profile history store (`FLASHR_PROFILE_DIR`) at context build:
+    /// per-category throughput rates and the device-read absorption
+    /// factor are fitted as medians over records matching this host's
+    /// `(cpus, build, backend, simd)` stamp and used to re-price
+    /// estimates. Estimates only — no plan *action* consults the
+    /// re-priced value, so outputs stay bit-identical with the knob on
+    /// or off. The fourth A/B knob alongside
+    /// [`cost_optimize`](CtxConfig::cost_optimize).
+    pub calibrate: bool,
     /// Upper bound on in-flight asynchronous external-memory output
     /// writes per worker. When the bound is reached the worker waits for
     /// the *oldest* write only, keeping the remaining slots streaming.
@@ -105,6 +116,7 @@ impl Default for CtxConfig {
             optimize: true,
             fuse_chains: true,
             cost_optimize: false,
+            calibrate: false,
             max_pending_writes: 8,
             mem_budget: None,
         }
@@ -303,6 +315,9 @@ struct CtxInner {
     metrics_server: Option<MetricsServer>,
     /// Cross-pass recycler for tall-output partition buffers.
     part_bufs: Arc<crate::chunk::PartBufPool>,
+    /// Fitted cost-model constants (when [`CtxConfig::calibrate`] found
+    /// matching history) plus this context's rolling prediction error.
+    calib: Arc<CalibState>,
 }
 
 impl Drop for CtxInner {
@@ -378,9 +393,20 @@ impl FlashCtx {
             _ => MemGovernor::new(0),
         };
         let stats = Arc::new(ExecStats::default());
+        // Calibration: replay the profile history store (if the knob is
+        // on and `FLASHR_PROFILE_DIR` holds matching records) into
+        // fitted cost-model constants. The state object always exists so
+        // the metrics source exports a stable gauge family set.
+        let calib = Arc::new(CalibState::new(if cfg.calibrate {
+            let backend = safs.as_ref().map(|s| s.backend_kind().as_str()).unwrap_or("none");
+            calibrate::load(backend, flashr_linalg::SimdLevel::active().name())
+        } else {
+            None
+        }));
         let metrics = Arc::new(MetricsHub::new());
         metrics.register_source(Box::new(ExecStatsSource(stats.clone())));
         metrics.register_source(Box::new(GovernorSource(governor.clone())));
+        metrics.register_source(Box::new(CalibrationSource(calib.clone())));
         if let Some(s) = &safs {
             metrics.register_source(Box::new(SafsSource(s.clone())));
         }
@@ -409,6 +435,7 @@ impl FlashCtx {
                 flight,
                 metrics_server,
                 part_bufs: Arc::new(crate::chunk::PartBufPool::new()),
+                calib,
             }),
         }
     }
@@ -529,6 +556,26 @@ impl FlashCtx {
     pub fn with_cost_optimize(&self, cost_optimize: bool) -> FlashCtx {
         let cfg = CtxConfig { cost_optimize, ..self.inner.cfg.clone() };
         FlashCtx::with_config(cfg, self.inner.safs.clone())
+    }
+
+    /// A copy of this context with history calibration switched on or
+    /// off (see [`CtxConfig::calibrate`]; the store is re-read at
+    /// build).
+    pub fn with_calibrate(&self, calibrate: bool) -> FlashCtx {
+        let cfg = CtxConfig { calibrate, ..self.inner.cfg.clone() };
+        FlashCtx::with_config(cfg, self.inner.safs.clone())
+    }
+
+    /// The fitted cost-model constants, when [`CtxConfig::calibrate`] is
+    /// on and the history store held records matching this host.
+    pub fn calibration(&self) -> Option<&Calibration> {
+        self.inner.calib.calibration.as_ref()
+    }
+
+    /// Calibration state: fitted constants plus the rolling
+    /// |predicted − actual| device-read error this context accumulates.
+    pub fn calib_state(&self) -> &CalibState {
+        &self.inner.calib
     }
 
     /// A copy of this context with a memory budget (resizes the SAFS

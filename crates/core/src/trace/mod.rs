@@ -32,7 +32,7 @@ pub mod chrome;
 pub mod critical;
 pub mod timeline;
 
-pub use critical::{CriticalPath, PassBreakdown};
+pub use critical::{CriticalPath, PassBreakdown, WallAttribution};
 pub use timeline::{EventKind, Lane, LaneSnapshot, SpanEvent, Timeline};
 
 use crate::stats::ExecStatsSnapshot;
@@ -405,7 +405,7 @@ fn field_u64(name: &str, v: u64, first: bool, out: &mut String) {
     push_u64(v, out);
 }
 
-fn exec_json(e: &ExecStatsSnapshot, out: &mut String) {
+pub(crate) fn exec_json(e: &ExecStatsSnapshot, out: &mut String) {
     out.push('{');
     field_u64("passes", e.passes, true, out);
     field_u64("parts", e.parts, false, out);
@@ -452,7 +452,7 @@ fn histo_json(h: &LatencyHistoSnapshot, out: &mut String) {
     out.push_str("]}");
 }
 
-fn io_json(io: &IoStatsSnapshot, out: &mut String) {
+pub(crate) fn io_json(io: &IoStatsSnapshot, out: &mut String) {
     out.push('{');
     field_u64("read_bytes", io.read_bytes, true, out);
     field_u64("write_bytes", io.write_bytes, false, out);

@@ -427,3 +427,79 @@ fn w004_flags_em_rescans_beyond_cache_budget() {
     let report = reused.check(&ctx).unwrap();
     assert!(!report.lints.iter().any(|l| l.code == "W004"));
 }
+
+/// Property: `FM::check_json` always emits strict JSON. Randomized
+/// chains — including non-finite scalar constants, reuse diamonds,
+/// reductions and gramians, on both in-memory and EM contexts — must
+/// parse under serde_json (which rejects bare `NaN`/`Infinity` tokens,
+/// so every float either renders finite or as `null`), carry the
+/// `report.lints` / `report.footprint` sections, and keep the cost
+/// object's key set stable.
+#[test]
+fn check_json_round_trips_through_serde() {
+    const COST_KEYS: [&str; 20] = [
+        "cache_capacity",
+        "calibrated",
+        "chunk_bytes",
+        "device_read_bytes",
+        "device_read_bytes_raw",
+        "em_leaves",
+        "gen_bytes",
+        "has_sink",
+        "leaf_read_bytes",
+        "mode",
+        "pcache_step",
+        "pcache_step_live",
+        "predicted_compute_nanos",
+        "predicted_read_nanos",
+        "predicted_wall_nanos",
+        "predicted_write_nanos",
+        "reuse",
+        "row_bytes_live",
+        "row_bytes_total",
+        "write_bytes",
+    ];
+    let im = im_ctx();
+    let em = em_ctx("check-json");
+    let mut rng = Lcg(0xC0FFEE);
+    let consts = [0.5, -1.5, f64::NAN, f64::INFINITY];
+    for case in 0..24u64 {
+        let ctx = if case % 2 == 0 { &im } else { &em };
+        let x = FM::rnorm(ctx, 256, 4, 0.0, 1.0, case + 1).materialize(ctx);
+        let mut y = &x + 0.0;
+        for _ in 0..1 + rng.below(5) {
+            y = match rng.below(4) {
+                0 => &y + consts[rng.below(4) as usize],
+                1 => &y * consts[rng.below(4) as usize],
+                2 => y.abs(),
+                _ => y.sqrt(),
+            };
+        }
+        let fm = match rng.below(4) {
+            0 => y.sum(),
+            1 => y.crossprod(),
+            2 => &(&y * 2.0) + &y,
+            _ => y,
+        };
+        let doc = fm.check_json(ctx);
+        let v: serde_json::Value = serde_json::from_str(&doc)
+            .unwrap_or_else(|e| panic!("case {case}: check_json is not strict JSON ({e}): {doc}"));
+        assert_eq!(v["ok"].as_bool(), Some(true), "case {case}: {doc}");
+        let report = v["report"].as_object().unwrap_or_else(|| panic!("case {case}: no report"));
+        for key in ["nodes_before", "nodes_after", "merged", "collapsed", "lints", "footprint"] {
+            assert!(report.contains_key(key), "case {case}: report lost key {key}");
+        }
+        for lint in v["report"]["lints"].as_array().expect("lints is an array") {
+            for key in ["code", "node", "message"] {
+                assert!(lint.get(key).is_some(), "case {case}: lint lost key {key}");
+            }
+        }
+        let fp = v["report"]["footprint"].as_object().expect("footprint is an object");
+        for key in ["read_bytes", "gen_bytes", "write_bytes", "working_set_bytes"] {
+            assert!(fp.contains_key(key), "case {case}: footprint lost key {key}");
+        }
+        let cost = v["cost"].as_object().unwrap_or_else(|| panic!("case {case}: no cost"));
+        let got: Vec<&str> = cost.keys().map(|s| s.as_str()).collect();
+        assert_eq!(got, COST_KEYS, "case {case}: cost key set drifted");
+    }
+}
